@@ -1,0 +1,42 @@
+"""Shared shape assertions for the slowdown tables.
+
+We are not expected to match the paper's absolute numbers (our substrate
+is a simulated machine, not the authors' hardware), but the *shape* must
+hold: the ordering of the columns, the rough magnitudes, and who wins.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Harness, WorkloadRow
+
+# Shape bounds, generous enough for any cost model yet tight enough to
+# catch a broken configuration: paper ranges were safe 0-17%,
+# -g 17-56%, checked 205-529% (with the register-starved Pentium at the
+# low end of every column, as the paper's Analysis section predicts).
+SAFE_MAX = 40.0
+G_MIN, G_MAX = 10.0, 130.0
+CHECKED_MIN = 60.0
+
+
+def run_and_check(harness: Harness, workload: str,
+                  benchmark=None) -> WorkloadRow:
+    if benchmark is not None:
+        row = benchmark.pedantic(harness.run_workload, args=(workload,),
+                                 rounds=1, iterations=1)
+    else:
+        row = harness.run_workload(workload)
+    assert_shape(row)
+    return row
+
+
+def assert_shape(row: WorkloadRow) -> None:
+    safe = row.slowdown_pct("O_safe")
+    g = row.slowdown_pct("g")
+    checked = row.slowdown_pct("g_checked")
+    # Column ordering: safe is the cheapest, checking the dearest.
+    assert -2.0 <= safe <= SAFE_MAX, f"{row.workload}: safe slowdown {safe:.1f}%"
+    assert safe < g, f"{row.workload}: -O safe ({safe:.1f}%) should beat -g ({g:.1f}%)"
+    assert G_MIN <= g <= G_MAX, f"{row.workload}: -g slowdown {g:.1f}%"
+    assert checked > g, (f"{row.workload}: checked ({checked:.1f}%) should "
+                         f"cost more than -g ({g:.1f}%)")
+    assert checked >= CHECKED_MIN, f"{row.workload}: checked slowdown {checked:.1f}%"

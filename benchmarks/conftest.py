@@ -1,0 +1,35 @@
+"""Shared fixtures for the table-reproduction benchmarks.
+
+One session-scoped :class:`repro.bench.Harness` per machine model, so a
+given (workload, config) cell is compiled and executed exactly once per
+model no matter how many tests inspect it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Harness
+
+_HARNESSES: dict[str, Harness] = {}
+
+
+def harness_for(model_key: str) -> Harness:
+    if model_key not in _HARNESSES:
+        _HARNESSES[model_key] = Harness(model_key)
+    return _HARNESSES[model_key]
+
+
+@pytest.fixture(scope="session")
+def ss2() -> Harness:
+    return harness_for("ss2")
+
+
+@pytest.fixture(scope="session")
+def ss10() -> Harness:
+    return harness_for("ss10")
+
+
+@pytest.fixture(scope="session")
+def p90() -> Harness:
+    return harness_for("p90")

@@ -1,0 +1,30 @@
+"""T2: SPARC 10 slowdowns — reproduces the paper's slowdown table on the ss10 model.
+
+Columns: -O safe / -g / -g checked, as percent slowdown vs the
+optimized unsafe baseline.  Absolute numbers come from our cost model;
+the shape assertions live in _shape.py.
+"""
+
+import pytest
+
+from repro.bench import render_slowdown_table
+from repro.workloads import WORKLOAD_NAMES
+
+from _shape import run_and_check
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+def test_t2_ss10_row(benchmark, ss10, workload):
+    row = run_and_check(ss10, workload, benchmark)
+    benchmark.extra_info["slowdowns"] = {
+        c: round(row.slowdown_pct(c), 1) for c in ("O_safe", "g", "g_checked")
+    }
+
+
+def test_t2_ss10_table(benchmark, ss10, capsys):
+    rows = benchmark.pedantic(ss10.run_all, rounds=1, iterations=1)
+    table = render_slowdown_table(rows, "t2_ss10", "T2: SPARC 10 slowdowns")
+    benchmark.extra_info["table"] = table
+    with capsys.disabled():
+        print()
+        print(table)

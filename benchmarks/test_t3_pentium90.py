@@ -1,0 +1,30 @@
+"""T3: Pentium 90 slowdowns — reproduces the paper's slowdown table on the p90 model.
+
+Columns: -O safe / -g / -g checked, as percent slowdown vs the
+optimized unsafe baseline.  Absolute numbers come from our cost model;
+the shape assertions live in _shape.py.
+"""
+
+import pytest
+
+from repro.bench import render_slowdown_table
+from repro.workloads import WORKLOAD_NAMES
+
+from _shape import run_and_check
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+def test_t3_p90_row(benchmark, p90, workload):
+    row = run_and_check(p90, workload, benchmark)
+    benchmark.extra_info["slowdowns"] = {
+        c: round(row.slowdown_pct(c), 1) for c in ("O_safe", "g", "g_checked")
+    }
+
+
+def test_t3_p90_table(benchmark, p90, capsys):
+    rows = benchmark.pedantic(p90.run_all, rounds=1, iterations=1)
+    table = render_slowdown_table(rows, "t3_p90", "T3: Pentium 90 slowdowns")
+    benchmark.extra_info["table"] = table
+    with capsys.disabled():
+        print()
+        print(table)

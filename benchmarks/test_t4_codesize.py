@@ -1,0 +1,45 @@
+"""T4: SPARC object-code expansion.
+
+The paper measured static code size of the processed modules only
+("These numbers include only the code that was actually processed, not
+the standard libraries") — our library routines are VM builtins, so they
+are excluded by construction.  Columns: -O2 safe / -g / -g checked as
+percent growth over the optimized baseline.
+
+Paper: safe 6-19%, -g 68-73%, checked 130-160% — and "the last column
+... grossly understates dynamic instruction counts, since additional
+procedure calls are introduced."
+"""
+
+import pytest
+
+from repro.bench import render_size_table
+from repro.workloads import WORKLOAD_NAMES
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+def test_t4_size_row(benchmark, ss10, workload):
+    row = benchmark.pedantic(ss10.run_workload, args=(workload,),
+                             rounds=1, iterations=1)
+    safe = row.slowdown_pct("O_safe", metric="code_size")
+    g = row.slowdown_pct("g", metric="code_size")
+    checked = row.slowdown_pct("g_checked", metric="code_size")
+    benchmark.extra_info["size_growth"] = {
+        "O_safe": round(safe, 1), "g": round(g, 1), "g_checked": round(checked, 1)}
+    # Shape: safe adds a little; -g adds a lot; checked adds the most.
+    assert 0.0 <= safe <= 45.0, f"safe size growth {safe:.1f}%"
+    assert g > safe, f"-g ({g:.1f}%) should outgrow safe ({safe:.1f}%)"
+    assert checked > g, f"checked ({checked:.1f}%) should outgrow -g ({g:.1f}%)"
+    # Checked's *dynamic* cost must grossly exceed its static growth
+    # (the calls loop at runtime), the paper's closing observation.
+    dyn = row.slowdown_pct("g_checked", metric="cycles")
+    assert dyn > checked
+
+
+def test_t4_table(benchmark, ss10, capsys):
+    rows = benchmark.pedantic(ss10.run_all, rounds=1, iterations=1)
+    table = render_size_table(rows)
+    benchmark.extra_info["table"] = table
+    with capsys.disabled():
+        print()
+        print(table)

@@ -1,0 +1,46 @@
+"""T5: the peephole postprocessor (SPARC 10).
+
+"On a SPARC 10, the execution time and code size degradations from the
+fully optimized normally compiled code were reduced to" 1-4% running
+time and 3-7% code size.  The postprocessor must recover most of the
+KEEP_LIVE overhead while leaving every answer unchanged.
+"""
+
+import pytest
+
+from repro.bench import render_postproc_table
+from repro.workloads import WORKLOAD_NAMES
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+def test_t5_postproc_row(benchmark, ss10, workload):
+    cells = benchmark.pedantic(ss10.run_postproc_row, args=(workload,),
+                               rounds=1, iterations=1)
+    base, safe, pp = cells["O"], cells["O_safe"], cells["O_safe_pp"]
+    safe_pct = 100.0 * (safe.cycles - base.cycles) / base.cycles
+    pp_pct = 100.0 * (pp.cycles - base.cycles) / base.cycles
+    size_pct = 100.0 * (pp.code_size - base.code_size) / base.code_size
+    benchmark.extra_info["residual"] = {
+        "time_pct": round(pp_pct, 1), "size_pct": round(size_pct, 1),
+        "before_pct": round(safe_pct, 1)}
+    # Same answers across the board.
+    assert base.exit_code == safe.exit_code == pp.exit_code
+    # The postprocessor never makes safe code slower...
+    assert pp.cycles <= safe.cycles
+    # ...and removes a meaningful share of the overhead when there is
+    # overhead worth removing (paper: down to 1-4%).
+    if safe_pct > 5.0:
+        assert pp_pct < safe_pct, "postprocessor removed nothing"
+    assert pp_pct <= 20.0, f"residual time overhead {pp_pct:.1f}% too high"
+    assert pp.code_size <= safe.code_size
+
+
+def test_t5_table(benchmark, ss10, capsys):
+    cells = benchmark.pedantic(
+        lambda: {w: ss10.run_postproc_row(w) for w in WORKLOAD_NAMES},
+        rounds=1, iterations=1)
+    table = render_postproc_table(cells)
+    benchmark.extra_info["table"] = table
+    with capsys.disabled():
+        print()
+        print(table)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The gawk anecdote: the pointer-arithmetic checker catches a real bug.
+
+"With checking enabled, it immediately and correctly detected a pointer
+arithmetic error which was also an array access error."  The bug family
+is the one-before-the-beginning array idiom — "to represent an array as
+a pointer to one element before the beginning of the array's memory.
+This fails in a garbage collected system."
+
+Our miniawk workload carries that bug behind -DGAWK_BUG.  Compiled
+normally it *appears* to work (the classic reason such bugs survive);
+compiled in checking mode, GC_same_obj flags the arithmetic at its
+source the moment it executes.
+
+Run:  python examples/checker_demo.py
+"""
+
+from repro.gc import Collector, GCCheckError
+from repro.machine import CompileConfig, VM, compile_source
+from repro.workloads import WORKLOADS, load_workload
+
+
+def run(source: str, config_name: str) -> str:
+    config = CompileConfig.named(config_name)
+    compiled = compile_source(source, config)
+    vm = VM(compiled.asm, config.model)
+    vm.stdin = WORKLOADS["miniawk"].stdin
+    try:
+        result = vm.run()
+        return f"exit={result.exit_code}: {result.output.splitlines()[0]}"
+    except GCCheckError as exc:
+        return f"CHECKER: {exc}"
+
+
+def main() -> None:
+    clean = load_workload("miniawk")
+    buggy = load_workload("miniawk", defines={"GAWK_BUG": "1"})
+
+    print("clean miniawk, -O          :", run(clean, "O"))
+    print("clean miniawk, -g checked  :", run(clean, "g_checked"))
+    print()
+    print("buggy miniawk, -O          :", run(buggy, "O"),
+          "   <- bug goes unnoticed, like gawk under malloc")
+    print("buggy miniawk, -g checked  :")
+    print("   ", run(buggy, "g_checked"))
+    print()
+    print("The checker pinpoints the out-of-object arithmetic immediately,")
+    print("exactly as the paper reports for gawk 2.11.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""A tour of the conservative collector substrate used by the checker.
+
+Shows the machinery the paper's measurements rely on: page-based
+allocation with one extra byte per object, the height-2 page table
+behind GC_base, interior-pointer recognition, conservative root
+scanning, and the GC_same_obj check.
+
+Run:  python examples/collector_tour.py
+"""
+
+from repro.gc import Collector, GCCheckError, round_size
+
+
+def main() -> None:
+    gc = Collector()
+
+    print("-- allocation and size rounding ('at least one extra byte') --")
+    for request in (1, 7, 8, 24, 100):
+        print(f"  request {request:4d} bytes -> stored as {round_size(request)} bytes")
+
+    print("\n-- GC_base maps any interior address to its object --")
+    obj = gc.malloc(100)
+    for probe in (obj, obj + 1, obj + 50, obj + 99):
+        print(f"  GC_base(0x{probe:08x}) = 0x{gc.base(probe):08x}")
+    print(f"  GC_base of one-past-last-usable: "
+          f"{gc.base(obj + round_size(100)) and hex(gc.base(obj + round_size(100)))}")
+
+    print("\n-- conservative roots: any register-looking value keeps objects --")
+    roots: list[int] = []
+    gc.add_root_provider(lambda: roots)
+    chain = gc.malloc(8)
+    node = chain
+    for _ in range(9):
+        nxt = gc.malloc(8)
+        gc.memory.store_word(node + 4, nxt)
+        node = nxt
+    roots.append(chain + 3)  # an interior pointer is enough
+    before = gc.heap.objects_in_use
+    gc.collect()
+    print(f"  10-node chain rooted by interior pointer: "
+          f"{before} -> {gc.heap.objects_in_use} objects (all survive)")
+    roots.clear()
+    reclaimed = gc.collect()
+    print(f"  after dropping the root: {reclaimed} objects reclaimed")
+
+    print("\n-- GC_same_obj: the checking primitive --")
+    p = gc.malloc(16)
+    print(f"  same_obj(p+8, p)  -> ok (returns 0x{gc.same_obj(p + 8, p):08x})")
+    gc.same_obj(p + 16, p)
+    print("  same_obj(p+16, p) -> ok (one past the end: the extra byte)")
+    try:
+        gc.same_obj(p - 1, p)
+    except GCCheckError as exc:
+        print(f"  same_obj(p-1, p)  -> {exc}")
+
+    print("\n-- collector statistics --")
+    print(f"  {gc.stats}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Run a whole C program — the cord string package — through the full
+pipeline under every configuration of the paper's build matrix, and
+print the measured slowdowns (one row of tables T1/T2/T3).
+
+Run:  python examples/cord_strings.py [ss2|ss10|p90]
+"""
+
+import sys
+
+from repro.machine import CompileConfig, VM, compile_source
+from repro.machine.models import MODELS
+from repro.postproc import postprocess
+from repro.workloads import load_workload
+
+
+def main() -> None:
+    model_key = sys.argv[1] if len(sys.argv) > 1 else "ss10"
+    model = MODELS[model_key]
+    source = load_workload("cordtest")
+
+    results = {}
+    for name in ("O", "O_safe", "g", "g_checked"):
+        config = CompileConfig.named(name, model)
+        compiled = compile_source(source, config)
+        vm = VM(compiled.asm, model)
+        run = vm.run()
+        results[name] = (run, compiled.asm.code_size())
+
+    # And the postprocessed safe build (table T5's row).
+    config = CompileConfig.named("O_safe", model)
+    compiled = compile_source(source, config)
+    stats = postprocess(compiled.asm)
+    vm = VM(compiled.asm, model)
+    results["O_safe+pp"] = (vm.run(), compiled.asm.code_size())
+
+    base_run, base_size = results["O"]
+    print(f"cordtest on the {model.name} model "
+          f"({base_run.instructions} baseline instructions)")
+    print(f"{'config':12s} {'cycles':>10s} {'slowdown':>9s} "
+          f"{'code':>6s} {'growth':>7s}  output")
+    for name, (run, size) in results.items():
+        slow = 100.0 * (run.cycles - base_run.cycles) / base_run.cycles
+        grow = 100.0 * (size - base_size) / base_size
+        print(f"{name:12s} {run.cycles:10d} {slow:8.1f}% "
+              f"{size:6d} {grow:6.1f}%  {run.output.strip()}")
+        assert run.exit_code == base_run.exit_code, "configs disagree!"
+    print(f"peephole transformations applied: {stats}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The paper's headline failure, reproduced end to end.
+
+"a conventional C compiler may replace a final reference p[i-1000] to
+the heap character pointer p by the sequence p = p - 1000; ... p[i]...
+If a garbage collection is triggered between the replacement of p, and
+the reference to p[i], there may be no recognizable pointer to the
+object referenced by p.  Thus such code is not GC-safe."
+
+We compile the same program three ways and run each with a collection
+forced before every instruction (the asynchronous-collector threat
+model) and with reclaimed objects poisoned:
+
+* -O           : the optimizer disguises the pointer; the object is
+                 collected mid-expression and the read is corrupted.
+* -O safe      : KEEP_LIVE keeps the base live; correct.
+* -g           : fully debuggable code is GC-safe; correct.
+
+Run:  python examples/gc_safety_demo.py
+"""
+
+from repro.gc import Collector
+from repro.machine import CompileConfig, VM, compile_source
+
+SOURCE = """\
+int helper(int x) { return x + 1; }
+
+char read_it(char *p, int i)
+{
+    helper(12345);          /* recycles the argument registers */
+    return p[i - 1000];     /* the paper's final-reference pattern */
+}
+
+int main(void)
+{
+    char *s;
+    int i;
+    s = (char *) GC_malloc(64);
+    for (i = 0; i < 64; i++) s[i] = 'A' + (i % 26);
+    return read_it(s, 1003);   /* s[3] == 'D' == 68 */
+}
+"""
+
+EXPECTED = ord("D")
+
+
+def run(config_name: str, gc_every_instruction: bool) -> int:
+    config = CompileConfig.named(config_name)
+    compiled = compile_source(SOURCE, config)
+    collector = Collector()
+    collector.heap.poison_byte = 0xDD  # make use-after-collect visible
+    vm = VM(compiled.asm, config.model, collector=collector,
+            gc_interval=1 if gc_every_instruction else 0)
+    result = vm.run()
+    return result.exit_code
+
+
+def main() -> None:
+    compiled = compile_source(SOURCE, CompileConfig.named("O"))
+    print("Optimized code for read_it — note the disguising rewrite")
+    print("(p is overwritten by p-1000 before the load):\n")
+    print(compiled.asm.functions["read_it"].render())
+    print()
+
+    rows = [
+        ("-O, no collections", run("O", False)),
+        ("-O, async collections", run("O", True)),
+        ("-O safe (KEEP_LIVE), async collections", run("O_safe", True)),
+        ("-g (debuggable), async collections", run("g", True)),
+    ]
+    print(f"{'configuration':45s} {'result':>8s}  verdict")
+    for name, code in rows:
+        verdict = "OK" if code == EXPECTED else "CORRUPTED (object was collected!)"
+        print(f"{name:45s} {code:8d}  {verdict}")
+
+    assert rows[0][1] == EXPECTED
+    assert rows[1][1] != EXPECTED, "expected the unsafe build to fail"
+    assert rows[2][1] == EXPECTED and rows[3][1] == EXPECTED
+
+
+if __name__ == "__main__":
+    main()

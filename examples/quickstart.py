@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: annotate C source for GC-safety and for pointer checking.
+
+This is the paper's preprocessor as a three-line library call:
+
+    result = annotate_source(c_source, mode="safe")      # KEEP_LIVE
+    result = annotate_source(c_source, mode="checked")   # GC_same_obj
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import annotate_source, check_source
+
+SOURCE = """\
+struct node { int value; struct node *next; };
+
+/* The canonical string-copying loop from the paper. */
+char *copy_string(char *s, char *t)
+{
+    char *p, *q;
+    p = s; q = t;
+    while (*p++ = *q++) ;
+    return s;
+}
+
+/* The paper's opening example: a final use of p[i-1000]. */
+char final_use(char *p, int i)
+{
+    return p[i - 1000];
+}
+
+int sum(struct node *head)
+{
+    int total = 0;
+    struct node *n;
+    for (n = head; n != 0; n = n->next)
+        total += n->value;
+    return total;
+}
+"""
+
+BAD_SOURCE = """\
+char *disguise(int cookie) {
+    return (char *) cookie;               /* int -> pointer */
+}
+void hide(char **box, char *p) {
+    scanf("%p", box);                      /* pointer input */
+}
+"""
+
+
+def main() -> None:
+    print("=" * 72)
+    print("GC-safety mode: every pointer expression that is stored,")
+    print("dereferenced, passed or returned becomes KEEP_LIVE(e, BASE(e)).")
+    print("=" * 72)
+    safe = annotate_source(SOURCE, mode="safe")
+    print(safe.text)
+    print(f"--> {safe.stats.keep_lives} KEEP_LIVE calls inserted, "
+          f"{safe.stats.suppressed_copies} suppressed as plain copies, "
+          f"{safe.stats.heuristic_replacements} bases replaced by "
+          f"slowly-varying equivalents")
+
+    print()
+    print("=" * 72)
+    print("Checking (debugging) mode: the same insertion points get real")
+    print("GC_same_obj / GC_post_incr calls that verify the arithmetic.")
+    print("=" * 72)
+    checked = annotate_source(SOURCE, mode="checked")
+    print(checked.text)
+
+    print()
+    print("=" * 72)
+    print("Source-safety diagnostics (paper's 'Source Checking'):")
+    print("=" * 72)
+    for diag in check_source(BAD_SOURCE):
+        print("  " + diag.render(BAD_SOURCE))
+
+
+if __name__ == "__main__":
+    main()

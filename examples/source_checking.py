@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""A gallery of pointer-hiding idioms and what the source checker says.
+
+The paper's input-program assumptions: no integers converted to heap
+pointers (with benign exceptions), and no pointers hidden from the
+collector through files or raw memory copies.  The checker flags the
+violations and stays quiet on the benign cases.
+
+Run:  python examples/source_checking.py
+"""
+
+from repro.core import check_source
+
+GALLERY = [
+    ("int cast to pointer (disguise)", """
+char *decode(int handle) {
+    return (char *)handle;
+}
+"""),
+    ("small-integer sentinel (benign)", """
+char *sentinel(void) {
+    return (char *)1;   /* never dereferenced */
+}
+"""),
+    ("pointer -> int -> pointer round trip", """
+char *launder(char *p) {
+    int bits = (int)p;
+    return (char *)bits;
+}
+"""),
+    ("hash on pointer value (benign: stays an int)", """
+int hash_ptr(void *p) {
+    return ((int)p >> 3) % 1024;
+}
+"""),
+    ("unrelated struct pointer cast", """
+struct widget { char *name; int id; };
+struct gadget { int id; char *name; };
+struct gadget *convert(struct widget *w) {
+    return (struct gadget *)w;
+}
+"""),
+    ("common-header cast (benign idiom)", """
+struct header { int tag; };
+struct object { int tag; char *payload; };
+struct header *as_header(struct object *o) {
+    return (struct header *)o;
+}
+"""),
+    ("scanf %%p pointer input", """
+void read_pointer(char **slot) {
+    scanf("%p", slot);
+}
+"""),
+    ("memcpy into pointer-bearing struct", """
+struct cell { struct cell *next; int v; };
+void raw_copy(struct cell *dst, struct cell *src) {
+    memcpy(dst, src, sizeof(struct cell));
+}
+"""),
+    ("memcpy of plain bytes (benign)", """
+void copy_text(char *dst, char *src, int n) {
+    memcpy(dst, src, n);
+}
+"""),
+]
+
+
+def main() -> None:
+    for title, source in GALLERY:
+        diags = check_source(source)
+        verdict = "clean" if not diags else "; ".join(
+            d.render(source) for d in diags)
+        marker = "  " if not diags else "!!"
+        print(f"{marker} {title:45s} -> {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro — reproduction of Hans-J. Boehm, "Simple Garbage-Collector-
+Safety" (PLDI 1996).
+
+Subpackages:
+
+* :mod:`repro.cfront` — C frontend (lexer, mini-cpp, parser, types,
+  typechecker, unparser).
+* :mod:`repro.core` — the paper's contribution: BASE/BASEADDR, the
+  KEEP_LIVE annotator (GC-safety mode), the pointer-arithmetic checker
+  (debugging mode), and source-safety diagnostics.
+* :mod:`repro.gc` — Boehm-style conservative mark-sweep collector over
+  simulated memory, with GC_base / GC_same_obj primitives.
+* :mod:`repro.machine` — optimizing compiler (IR, passes, linear-scan
+  register allocation, RISC codegen) + executing VM with cost models
+  for the paper's three machines.
+* :mod:`repro.postproc` — the peephole postprocessor.
+* :mod:`repro.workloads` / :mod:`repro.bench` — the cordtest / cfrac /
+  gawk / gs stand-ins and the table-reproduction harness.
+
+Quick start::
+
+    from repro.core import annotate_source
+    print(annotate_source("char *f(char *p) { return p + 1; }").text)
+"""
+
+from .core.api import AnnotatedSource, annotate_source, check_source
+
+__version__ = "1.0.0"
+__all__ = ["AnnotatedSource", "annotate_source", "check_source", "__version__"]

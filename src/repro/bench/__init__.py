@@ -1,0 +1,13 @@
+"""Benchmark harness reproducing the paper's five tables."""
+
+from .harness import CellResult, CONFIG_ORDER, Harness, WorkloadRow
+from .tables import (
+    PAPER, PAPER_NAMES, render_postproc_table, render_size_table,
+    render_slowdown_table,
+)
+
+__all__ = [
+    "CellResult", "CONFIG_ORDER", "Harness", "WorkloadRow",
+    "PAPER", "PAPER_NAMES", "render_postproc_table", "render_size_table",
+    "render_slowdown_table",
+]

@@ -1,0 +1,119 @@
+"""Benchmark harness: builds the paper's measurement matrix.
+
+For each workload and machine model it compiles the four configurations
+(``-O`` baseline, ``-O safe``, ``-g``, ``-g checked``), runs them on the
+VM, verifies they all compute the same answer, and reports slowdown
+percentages relative to the optimized baseline — the exact structure of
+the paper's tables.  Code-size expansion (T4) and the postprocessor
+variant (T5) reuse the same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.driver import CompileConfig, compile_source
+from ..machine.models import MODELS, MachineModel
+from ..machine.vm import VM
+from ..postproc import postprocess
+from ..workloads import WORKLOADS, load_workload
+
+CONFIG_ORDER = ("O", "O_safe", "g", "g_checked")
+
+
+@dataclass
+class CellResult:
+    workload: str
+    config: str
+    model: str
+    cycles: int
+    instructions: int
+    code_size: int
+    exit_code: int
+    collections: int
+    output: str
+    postprocessed: bool = False
+    peephole_stats: object = None
+
+
+@dataclass
+class WorkloadRow:
+    """All configurations of one workload on one model."""
+
+    workload: str
+    model: str
+    cells: dict[str, CellResult] = field(default_factory=dict)
+
+    @property
+    def baseline(self) -> CellResult:
+        return self.cells["O"]
+
+    def slowdown_pct(self, config: str, metric: str = "cycles") -> float:
+        base = getattr(self.baseline, metric)
+        value = getattr(self.cells[config], metric)
+        return 100.0 * (value - base) / base
+
+    def verify_consistent(self) -> None:
+        codes = {c.exit_code for c in self.cells.values()}
+        if len(codes) != 1:
+            raise AssertionError(
+                f"{self.workload}/{self.model}: configurations disagree on the "
+                f"answer: { {k: v.exit_code for k, v in self.cells.items()} }")
+
+
+class Harness:
+    def __init__(self, model_key: str = "ss10"):
+        self.model_key = model_key
+        self.model: MachineModel = MODELS[model_key]
+        self._cache: dict[tuple, CellResult] = {}
+
+    def run_cell(self, workload: str, config_name: str,
+                 postprocessed: bool = False) -> CellResult:
+        key = (workload, config_name, postprocessed)
+        if key in self._cache:
+            return self._cache[key]
+        spec = WORKLOADS[workload]
+        source = load_workload(workload)
+        config = CompileConfig.named(config_name, self.model)
+        compiled = compile_source(source, config)
+        stats = postprocess(compiled.asm) if postprocessed else None
+        vm = VM(compiled.asm, self.model)
+        vm.stdin = spec.stdin
+        run = vm.run()
+        cell = CellResult(
+            workload=workload, config=config_name, model=self.model_key,
+            cycles=run.cycles, instructions=run.instructions,
+            code_size=compiled.asm.code_size(), exit_code=run.exit_code,
+            collections=run.collections, output=run.output,
+            postprocessed=postprocessed, peephole_stats=stats)
+        self._cache[key] = cell
+        return cell
+
+    def run_workload(self, workload: str,
+                     configs: tuple[str, ...] = CONFIG_ORDER) -> WorkloadRow:
+        row = WorkloadRow(workload, self.model_key)
+        for config in configs:
+            row.cells[config] = self.run_cell(workload, config)
+        row.verify_consistent()
+        return row
+
+    def run_all(self, workloads: tuple[str, ...] | None = None,
+                configs: tuple[str, ...] = CONFIG_ORDER) -> dict[str, WorkloadRow]:
+        out: dict[str, WorkloadRow] = {}
+        for name in workloads or tuple(WORKLOADS):
+            out[name] = self.run_workload(name, configs)
+        return out
+
+    # -- T5: safe + postprocessor ------------------------------------------
+
+    def run_postproc_row(self, workload: str) -> dict[str, CellResult]:
+        """Baseline, safe, and safe+postprocessed cells for T5."""
+        cells = {
+            "O": self.run_cell(workload, "O"),
+            "O_safe": self.run_cell(workload, "O_safe"),
+            "O_safe_pp": self.run_cell(workload, "O_safe", postprocessed=True),
+        }
+        codes = {c.exit_code for c in cells.values()}
+        if len(codes) != 1:
+            raise AssertionError(f"{workload}: postprocessed code changed the answer")
+        return cells

@@ -1,0 +1,26 @@
+"""C frontend substrate: lexer, mini preprocessor, parser, type checker,
+and unparser for the ANSI C subset used throughout the reproduction."""
+
+from . import cast
+from .cpp import Preprocessor, preprocess
+from .ctypes import (
+    Array, CHAR, CHAR_PTR, CType, DOUBLE, FLOAT, Function, INT, IntType,
+    Pointer, Struct, UINT, VOID, VOID_PTR, WORD_SIZE, may_hold_heap_pointer,
+)
+from .errors import CFrontError, Diagnostic, LexError, ParseError, SourceSpan, TypeError_
+from .lexer import Token, tokenize
+from .parser import Parser, parse, parse_expression
+from .symbols import Symbol, SymbolTable
+from .typecheck import TypeChecker, typecheck
+from .unparse import Unparser, unparse, unparse_type
+
+__all__ = [
+    "cast", "Preprocessor", "preprocess",
+    "Array", "CHAR", "CHAR_PTR", "CType", "DOUBLE", "FLOAT", "Function",
+    "INT", "IntType", "Pointer", "Struct", "UINT", "VOID", "VOID_PTR",
+    "WORD_SIZE", "may_hold_heap_pointer",
+    "CFrontError", "Diagnostic", "LexError", "ParseError", "SourceSpan",
+    "TypeError_", "Token", "tokenize", "Parser", "parse", "parse_expression",
+    "Symbol", "SymbolTable", "TypeChecker", "typecheck",
+    "Unparser", "unparse", "unparse_type",
+]

@@ -1,0 +1,249 @@
+"""C type model.
+
+Sizes follow the 32-bit ILP32 convention of the paper's machines
+(SPARCstation 2/10, Pentium 90): char = 1, short = 2, int = long =
+pointer = 4.  Words on the simulated machine are 4 bytes; the heap
+allocator and the collector both depend on ``WORD_SIZE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+WORD_SIZE = 4
+
+_INT_SIZES = {"char": 1, "short": 2, "int": 4, "long": 4}
+
+
+class CType:
+    """Base class for all C types."""
+
+    size: int = 0
+    align: int = 1
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, Pointer)
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return isinstance(self, (IntType, FloatType))
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, Void)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, Array)
+
+    @property
+    def is_struct(self) -> bool:
+        return isinstance(self, Struct)
+
+    @property
+    def is_function(self) -> bool:
+        return isinstance(self, Function)
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.is_arithmetic or self.is_pointer
+
+    def decay(self) -> "CType":
+        """Array-to-pointer and function-to-pointer decay."""
+        if isinstance(self, Array):
+            return Pointer(self.element)
+        if isinstance(self, Function):
+            return Pointer(self)
+        return self
+
+    def compatible(self, other: "CType") -> bool:
+        """Loose assignment compatibility (the paper's checker is not a
+        full conformance checker; it needs pointer-ness, not pedantry)."""
+        if self.is_arithmetic and other.is_arithmetic:
+            return True
+        if self.is_pointer and other.is_pointer:
+            return True
+        return type(self) is type(other) and self == other
+
+
+@dataclass(frozen=True)
+class Void(CType):
+    size: int = 0
+    align: int = 1
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(CType):
+    name: str = "int"
+    signed: bool = True
+
+    def __str__(self) -> str:
+        return self.name if self.signed else f"unsigned {self.name}"
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return _INT_SIZES[self.name]
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return self.size
+
+
+@dataclass(frozen=True)
+class FloatType(CType):
+    name: str = "double"
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return 4 if self.name == "float" else 8
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return self.size
+
+
+@dataclass(frozen=True)
+class Pointer(CType):
+    target: CType = field(default_factory=Void)
+
+    def __str__(self) -> str:
+        return f"{self.target}*"
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return WORD_SIZE
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return WORD_SIZE
+
+
+@dataclass(frozen=True)
+class Array(CType):
+    element: CType = field(default_factory=lambda: IntType("int"))
+    length: int | None = None  # None: incomplete, e.g. extern int a[];
+
+    def __str__(self) -> str:
+        return f"{self.element}[{'' if self.length is None else self.length}]"
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return 0 if self.length is None else self.element.size * self.length
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return self.element.align
+
+
+@dataclass(frozen=True)
+class StructField:
+    name: str
+    ctype: CType
+    offset: int
+
+
+class Struct(CType):
+    """struct or union; fields are laid out eagerly at definition."""
+
+    def __init__(self, tag: str | None, is_union: bool = False):
+        self.tag = tag
+        self.is_union = is_union
+        self.fields: list[StructField] = []
+        self._by_name: dict[str, StructField] = {}
+        self.size = 0
+        self.align = 1
+        self.complete = False
+
+    def define(self, members: list[tuple[str, CType]]) -> None:
+        offset = 0
+        for name, ctype in members:
+            if name in self._by_name:
+                raise ValueError(f"duplicate field {name!r} in struct {self.tag}")
+            self.align = max(self.align, ctype.align)
+            if self.is_union:
+                fld = StructField(name, ctype, 0)
+                self.size = max(self.size, ctype.size)
+            else:
+                offset = _round_up(offset, ctype.align)
+                fld = StructField(name, ctype, offset)
+                offset += ctype.size
+            self.fields.append(fld)
+            self._by_name[name] = fld
+        if not self.is_union:
+            self.size = _round_up(offset, self.align)
+        else:
+            self.size = _round_up(self.size, self.align)
+        self.complete = True
+
+    def field(self, name: str) -> StructField | None:
+        return self._by_name.get(name)
+
+    def __str__(self) -> str:
+        kw = "union" if self.is_union else "struct"
+        return f"{kw} {self.tag or '<anon>'}"
+
+    def __eq__(self, other: object) -> bool:
+        return self is other  # struct identity is nominal
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+@dataclass(frozen=True)
+class Function(CType):
+    ret: CType = field(default_factory=Void)
+    params: tuple[CType, ...] = ()
+    varargs: bool = False
+
+    def __str__(self) -> str:
+        parts = [str(p) for p in self.params]
+        if self.varargs:
+            parts.append("...")
+        return f"{self.ret}({', '.join(parts)})"
+
+
+def _round_up(n: int, align: int) -> int:
+    return (n + align - 1) // align * align
+
+
+# Canonical singletons used throughout the frontend and the compiler.
+VOID = Void()
+CHAR = IntType("char")
+UCHAR = IntType("char", signed=False)
+SHORT = IntType("short")
+USHORT = IntType("short", signed=False)
+INT = IntType("int")
+UINT = IntType("int", signed=False)
+LONG = IntType("long")
+ULONG = IntType("long", signed=False)
+DOUBLE = FloatType("double")
+FLOAT = FloatType("float")
+CHAR_PTR = Pointer(CHAR)
+VOID_PTR = Pointer(VOID)
+
+
+def may_hold_heap_pointer(ctype: CType) -> bool:
+    """True when a value of this type can carry a heap pointer.
+
+    The paper restricts attention to heap pointers; pointer-typed values
+    (and aggregates containing them) qualify.  Integers do not: the
+    source checker warns about int->pointer conversions separately.
+    """
+    if ctype.is_pointer:
+        return True
+    if isinstance(ctype, Array):
+        return may_hold_heap_pointer(ctype.element)
+    if isinstance(ctype, Struct):
+        return any(may_hold_heap_pointer(f.ctype) for f in ctype.fields)
+    return False

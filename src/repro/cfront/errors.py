@@ -1,0 +1,60 @@
+"""Diagnostics for the C frontend.
+
+Every error carries the character offset into the original source text,
+because the annotator (see :mod:`repro.core.edits`) keys its insertions
+and deletions by character position, exactly as the paper's preprocessor
+does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """Half-open character range [start, end) in the original source."""
+
+    start: int
+    end: int
+
+    def merge(self, other: "SourceSpan") -> "SourceSpan":
+        return SourceSpan(min(self.start, other.start), max(self.end, other.end))
+
+
+class CFrontError(Exception):
+    """Base class for all frontend failures."""
+
+    def __init__(self, message: str, pos: int = -1, source: str | None = None):
+        self.message = message
+        self.pos = pos
+        if source is not None and pos >= 0:
+            line = source.count("\n", 0, pos) + 1
+            col = pos - (source.rfind("\n", 0, pos) + 1) + 1
+            message = f"line {line}, col {col}: {message}"
+        super().__init__(message)
+
+
+class LexError(CFrontError):
+    """Raised for unrecognizable input characters or unterminated tokens."""
+
+
+class ParseError(CFrontError):
+    """Raised for syntactically invalid input."""
+
+
+class TypeError_(CFrontError):
+    """Raised for ill-typed programs (named to avoid shadowing builtins)."""
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """A non-fatal warning, e.g. from the source-safety checker."""
+
+    pos: int
+    message: str
+    category: str = "warning"
+
+    def render(self, source: str) -> str:
+        line = source.count("\n", 0, self.pos) + 1
+        return f"{self.category}: line {line}: {self.message}"

@@ -1,0 +1,238 @@
+"""Tokenizer for the ANSI C subset accepted by the frontend.
+
+The token stream keeps exact character offsets into the original text so
+that the annotator can splice ``KEEP_LIVE`` calls into the source without
+reformatting it — the strategy the paper's preprocessor uses ("a list of
+insertions and deletions, sorted by character position").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import LexError
+
+KEYWORDS = frozenset(
+    """auto break case char const continue default do double else enum extern
+    float for goto if int long register return short signed sizeof static
+    struct switch typedef union unsigned void volatile while""".split()
+)
+
+# Longest-match-first operator table.
+_OPERATORS = sorted(
+    [
+        ">>=", "<<=", "...",
+        "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+        "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=",
+        "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+        "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+    ],
+    key=len,
+    reverse=True,
+)
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+_SIMPLE_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+    "'": "'", '"': '"', "a": "\a", "b": "\b", "f": "\f", "v": "\v",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of: ``ident``, ``keyword``, ``int``, ``float``,
+    ``char``, ``string``, ``op``, ``eof``.  ``value`` holds the decoded
+    payload (int for ``int``/``char``, str otherwise).
+    """
+
+    kind: str
+    text: str
+    value: object
+    pos: int
+
+    @property
+    def end(self) -> int:
+        return self.pos + len(self.text)
+
+    def __repr__(self) -> str:  # compact, for parser error messages
+        return f"Token({self.kind!r}, {self.text!r}, @{self.pos})"
+
+
+def decode_escapes(body: str, pos: int, source: str) -> str:
+    """Decode C escape sequences in a string/char literal body."""
+    out: list[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(body):
+            raise LexError("trailing backslash in literal", pos, source)
+        esc = body[i + 1]
+        if esc in _SIMPLE_ESCAPES:
+            out.append(_SIMPLE_ESCAPES[esc])
+            i += 2
+        elif esc == "x":
+            j = i + 2
+            while j < len(body) and body[j] in "0123456789abcdefABCDEF":
+                j += 1
+            if j == i + 2:
+                raise LexError("\\x with no hex digits", pos, source)
+            out.append(chr(int(body[i + 2 : j], 16)))
+            i = j
+        elif esc in "01234567":
+            j = i + 1
+            while j < len(body) and j < i + 4 and body[j] in "01234567":
+                j += 1
+            out.append(chr(int(body[i + 1 : j], 8)))
+            i = j
+        else:
+            raise LexError(f"unknown escape sequence \\{esc}", pos, source)
+    return "".join(out)
+
+
+class Lexer:
+    """Produces the full token list for a translation unit."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            tok = self._next()
+            tokens.append(tok)
+            if tok.kind == "eof":
+                return tokens
+
+    # ------------------------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        src, n = self.source, len(self.source)
+        while self.pos < n:
+            ch = src[self.pos]
+            if ch in " \t\r\n\f\v":
+                self.pos += 1
+            elif src.startswith("//", self.pos):
+                nl = src.find("\n", self.pos)
+                self.pos = n if nl < 0 else nl + 1
+            elif src.startswith("/*", self.pos):
+                close = src.find("*/", self.pos + 2)
+                if close < 0:
+                    raise LexError("unterminated comment", self.pos, src)
+                self.pos = close + 2
+            elif ch == "#":
+                # Line markers emitted by the mini preprocessor; skip the line.
+                nl = src.find("\n", self.pos)
+                self.pos = n if nl < 0 else nl + 1
+            else:
+                return
+
+    def _next(self) -> Token:
+        self._skip_trivia()
+        src = self.source
+        start = self.pos
+        if start >= len(src):
+            return Token("eof", "", None, start)
+        ch = src[start]
+        if ch in _IDENT_START:
+            return self._ident(start)
+        if ch in _DIGITS or (ch == "." and start + 1 < len(src) and src[start + 1] in _DIGITS):
+            return self._number(start)
+        if ch == '"':
+            return self._string(start)
+        if ch == "'":
+            return self._char(start)
+        for op in _OPERATORS:
+            if src.startswith(op, start):
+                self.pos = start + len(op)
+                return Token("op", op, op, start)
+        raise LexError(f"unexpected character {ch!r}", start, src)
+
+    def _ident(self, start: int) -> Token:
+        src = self.source
+        i = start + 1
+        while i < len(src) and src[i] in _IDENT_CONT:
+            i += 1
+        self.pos = i
+        text = src[start:i]
+        kind = "keyword" if text in KEYWORDS else "ident"
+        return Token(kind, text, text, start)
+
+    def _number(self, start: int) -> Token:
+        src = self.source
+        i = start
+        is_float = False
+        if src.startswith(("0x", "0X"), start):
+            i = start + 2
+            while i < len(src) and src[i] in "0123456789abcdefABCDEF":
+                i += 1
+            value = int(src[start:i], 16)
+        else:
+            while i < len(src) and src[i] in _DIGITS:
+                i += 1
+            if i < len(src) and src[i] == "." :
+                is_float = True
+                i += 1
+                while i < len(src) and src[i] in _DIGITS:
+                    i += 1
+            if i < len(src) and src[i] in "eE":
+                is_float = True
+                i += 1
+                if i < len(src) and src[i] in "+-":
+                    i += 1
+                while i < len(src) and src[i] in _DIGITS:
+                    i += 1
+            text = src[start:i]
+            value = float(text) if is_float else int(text, 8 if text.startswith("0") and len(text) > 1 else 10)
+        # integer suffixes
+        while not is_float and i < len(src) and src[i] in "uUlL":
+            i += 1
+        if is_float and i < len(src) and src[i] in "fFlL":
+            i += 1
+        self.pos = i
+        return Token("float" if is_float else "int", src[start:i], value, start)
+
+    def _string(self, start: int) -> Token:
+        src = self.source
+        i = start + 1
+        while i < len(src) and src[i] != '"':
+            i += 2 if src[i] == "\\" else 1
+        if i >= len(src):
+            raise LexError("unterminated string literal", start, src)
+        body = decode_escapes(src[start + 1 : i], start, src)
+        self.pos = i + 1
+        # Adjacent string literal concatenation.
+        save = self.pos
+        self._skip_trivia()
+        if self.pos < len(src) and src[self.pos] == '"':
+            nxt = self._string(self.pos)
+            return Token("string", src[start : nxt.pos + len(nxt.text)], body + nxt.value, start)
+        self.pos = save
+        return Token("string", src[start : i + 1], body, start)
+
+    def _char(self, start: int) -> Token:
+        src = self.source
+        i = start + 1
+        while i < len(src) and src[i] != "'":
+            i += 2 if src[i] == "\\" else 1
+        if i >= len(src):
+            raise LexError("unterminated character literal", start, src)
+        body = decode_escapes(src[start + 1 : i], start, src)
+        if len(body) != 1:
+            raise LexError("character literal must contain exactly one character", start, src)
+        self.pos = i + 1
+        return Token("char", src[start : i + 1], ord(body), start)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: lex ``source`` into a token list ending in EOF."""
+    return Lexer(source).tokenize()

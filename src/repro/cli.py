@@ -1,0 +1,167 @@
+"""Command-line interface — the paper's tools as commands.
+
+    python -m repro annotate [--mode safe|checked] file.c
+        The preprocessor: print the annotated source.
+
+    python -m repro check file.c
+        Source-safety diagnostics only.
+
+    python -m repro cc [--config O|O_safe|g|g_checked] [--model ss2|ss10|p90]
+                       [--postproc] [--gc-interval N] [--stdin FILE]
+                       [--dump-asm] file.c
+        Compile and execute on the simulated machine; print the program
+        output and a run summary.
+
+    python -m repro bench [--model ss10] [--workloads w1,w2,...]
+        Print the slowdown table for one machine model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .cfront.errors import CFrontError
+from .core.annotate import AnnotateOptions
+from .core.api import annotate_source, check_source
+from .gc.collector import Collector, GCCheckError
+from .machine.driver import CompileConfig, compile_source
+from .machine.models import MODELS
+from .machine.vm import VM, VMError
+from .postproc import postprocess
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as fh:
+        return fh.read()
+
+
+def cmd_annotate(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    options = AnnotateOptions(
+        mode=args.mode,
+        suppress_copies=not args.no_copy_suppression,
+        expand_incdec=not args.no_incdec,
+        base_heuristic=not args.no_heuristic,
+        call_safe_points=args.call_safe_points,
+    )
+    result = annotate_source(source, mode=args.mode, options=options,
+                             run_cpp=not args.no_cpp)
+    if args.warnings:
+        for diag in result.diagnostics:
+            print(diag.render(source), file=sys.stderr)
+    print(result.text, end="" if result.text.endswith("\n") else "\n")
+    if args.stats:
+        print(f"! {result.stats}", file=sys.stderr)
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    diags = check_source(source, run_cpp=not args.no_cpp)
+    for diag in diags:
+        print(diag.render(source))
+    return 1 if diags else 0
+
+
+def cmd_cc(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    model = MODELS[args.model]
+    config = CompileConfig.named(args.config, model)
+    compiled = compile_source(source, config)
+    if args.postproc:
+        stats = postprocess(compiled.asm)
+        print(f"! postprocessor: {stats}", file=sys.stderr)
+    if args.dump_asm:
+        print(compiled.asm.render())
+        return 0
+    collector = Collector()
+    if args.poison:
+        collector.heap.poison_byte = 0xDD
+    vm = VM(compiled.asm, model, collector=collector,
+            gc_interval=args.gc_interval)
+    if args.stdin:
+        vm.stdin = _read(args.stdin)
+    try:
+        result = vm.run()
+    except GCCheckError as exc:
+        print(f"! pointer check failed: {exc}", file=sys.stderr)
+        return 3
+    sys.stdout.write(result.output)
+    print(f"! exit={result.exit_code} instructions={result.instructions} "
+          f"cycles={result.cycles} collections={result.collections} "
+          f"code_size={compiled.asm.code_size()}", file=sys.stderr)
+    return result.exit_code & 0xFF
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.harness import Harness
+    from .bench.tables import render_slowdown_table
+    table_key = {"ss2": "t1_ss2", "ss10": "t2_ss10", "p90": "t3_p90"}[args.model]
+    harness = Harness(args.model)
+    workloads = tuple(args.workloads.split(",")) if args.workloads else None
+    rows = harness.run_all(workloads)
+    print(render_slowdown_table(
+        rows, table_key, f"Slowdowns on {harness.model.name}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simple Garbage-Collector-Safety (Boehm, PLDI 1996) tools")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("annotate", help="annotate C source (the preprocessor)")
+    p.add_argument("file")
+    p.add_argument("--mode", choices=("safe", "checked"), default="safe")
+    p.add_argument("--no-cpp", action="store_true")
+    p.add_argument("--no-copy-suppression", action="store_true")
+    p.add_argument("--no-incdec", action="store_true")
+    p.add_argument("--no-heuristic", action="store_true")
+    p.add_argument("--call-safe-points", action="store_true")
+    p.add_argument("--warnings", action="store_true")
+    p.add_argument("--stats", action="store_true")
+    p.set_defaults(fn=cmd_annotate)
+
+    p = sub.add_parser("check", help="source-safety diagnostics")
+    p.add_argument("file")
+    p.add_argument("--no-cpp", action="store_true")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("cc", help="compile and run on the simulated machine")
+    p.add_argument("file")
+    p.add_argument("--config", choices=("O", "O_safe", "g", "g_checked"),
+                   default="O")
+    p.add_argument("--model", choices=tuple(MODELS), default="ss10")
+    p.add_argument("--postproc", action="store_true")
+    p.add_argument("--gc-interval", type=int, default=0)
+    p.add_argument("--poison", action="store_true")
+    p.add_argument("--stdin")
+    p.add_argument("--dump-asm", action="store_true")
+    p.set_defaults(fn=cmd_cc)
+
+    p = sub.add_parser("bench", help="print one slowdown table")
+    p.add_argument("--model", choices=tuple(MODELS), default="ss10")
+    p.add_argument("--workloads", default="")
+    p.set_defaults(fn=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (CFrontError, VMError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

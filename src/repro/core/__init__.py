@@ -1,0 +1,19 @@
+"""The paper's contribution: BASE/BASEADDR analysis, KEEP_LIVE
+annotation for GC-safety, pointer-arithmetic checking mode, and the
+source-safety diagnostics."""
+
+from .annotate import (
+    AnnotateOptions, AnnotateStats, AnnotationResult, Annotator, CHECKED, SAFE,
+    annotate,
+)
+from .api import AnnotatedSource, annotate_source, check_source
+from .base import base_of, baseaddr_of, is_generating, is_plain_copy
+from .edits import Edit, EditList, splice
+from .sourcecheck import check_unit
+
+__all__ = [
+    "AnnotateOptions", "AnnotateStats", "AnnotationResult", "Annotator",
+    "CHECKED", "SAFE", "annotate", "AnnotatedSource", "annotate_source",
+    "check_source", "base_of", "baseaddr_of", "is_generating",
+    "is_plain_copy", "Edit", "EditList", "splice", "check_unit",
+]

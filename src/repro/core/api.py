@@ -1,0 +1,98 @@
+"""Public entry points for the annotator — the paper's preprocessor as a
+library.
+
+>>> from repro.core import annotate_source
+>>> result = annotate_source("char *f(char *p) { return p + 1; }")
+>>> print(result.text)            # doctest: +SKIP
+char *f(char *p) { return KEEP_LIVE((p + 1), p); }
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfront import cast as A
+from ..cfront.cpp import preprocess
+from ..cfront.errors import Diagnostic
+from ..cfront.parser import parse
+from ..cfront.typecheck import typecheck
+from ..cfront.unparse import Unparser, type_prefix_suffix, unparse, unparse_type
+from .annotate import (
+    AnnotateOptions, AnnotateStats, AnnotationResult, Annotator, CHECKED, SAFE,
+)
+from .edits import EditList, splice
+from .sourcecheck import check_unit
+
+
+@dataclass
+class AnnotatedSource:
+    """Everything the preprocessor produces for one translation unit."""
+
+    text: str  # annotated source, original formatting preserved
+    unit: A.TranslationUnit  # the transformed AST (compiler input)
+    stats: AnnotateStats
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def keep_live_count(self) -> int:
+        return self.stats.keep_lives
+
+    def render_diagnostics(self, source: str) -> str:
+        return "\n".join(d.render(source) for d in self.diagnostics)
+
+
+def annotate_source(source: str, mode: str = SAFE,
+                    options: AnnotateOptions | None = None,
+                    run_cpp: bool = False,
+                    include_dirs: list[str] | None = None) -> AnnotatedSource:
+    """Annotate C source for GC-safety (``mode='safe'``) or pointer-
+    arithmetic checking (``mode='checked'``).
+
+    The returned text is produced by splicing the KEEP_LIVE /
+    GC_same_obj expansions into the *original* source, exactly the
+    paper's insertion/deletion-list strategy, so untouched code keeps
+    its formatting.
+    """
+    if run_cpp:
+        source = preprocess(source, include_dirs)
+    if options is None:
+        options = AnnotateOptions(mode=mode)
+    else:
+        options.mode = mode
+    unit = parse(source)
+    typecheck(unit)
+    diagnostics = check_unit(unit)
+    result = Annotator(unit, options).run()
+    text = _render(source, unit, result, options)
+    return AnnotatedSource(text=text, unit=unit, stats=result.stats,
+                           diagnostics=diagnostics)
+
+
+def check_source(source: str, run_cpp: bool = False,
+                 include_dirs: list[str] | None = None) -> list[Diagnostic]:
+    """Run only the source-safety checks (paper's "Source Checking"),
+    without transforming the program."""
+    if run_cpp:
+        source = preprocess(source, include_dirs)
+    unit = parse(source)
+    typecheck(unit)
+    return check_unit(unit)
+
+
+def _render(source: str, unit: A.TranslationUnit, result: AnnotationResult,
+            options: AnnotateOptions) -> str:
+    inserts: list[tuple[int, str]] = []
+    if options.mode == CHECKED:
+        proto = ("extern void *GC_same_obj(void *p, void *q); "
+                 "extern void *GC_pre_incr(void *p, int n); "
+                 "extern void *GC_post_incr(void *p, int n);\n")
+        inserts.append((0, proto))
+    for item in unit.items:
+        if isinstance(item, A.FuncDef) and item.name in result.temp_decls:
+            pos = item.body.span.start + 1  # just after the opening brace
+            decls = "".join(
+                f" {type_prefix_suffix(ctype, name)};"
+                for name, ctype in result.temp_decls[item.name]
+            )
+            inserts.append((pos, decls))
+    return splice(source, result.replacements, inserts)

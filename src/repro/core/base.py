@@ -1,0 +1,168 @@
+"""The BASE / BASEADDR inductive definition (paper, section "An Algorithm").
+
+``BASE(e)``, for a pointer-valued expression ``e``, is the pointer
+*variable* from which the value of ``e`` is computed, or NIL if there is
+no such pointer variable.  The defining property: ``e`` and ``BASE(e)``
+are guaranteed to point to the same object whenever ``e`` points to a
+heap object (this relies on the ANSI C rule that pointer arithmetic may
+not leave the object).
+
+``BASEADDR(e)`` is the possible base pointer for ``&e``.
+
+The paper's table, transcribed:
+
+    BASE(0)            = NIL
+    BASE(x)            = x            if x is a variable and possible heap pointer
+    BASE(x = e)        = x            if x is a pointer variable
+    BASE(x = e)        = BASE(e)      if x is not a pointer variable
+    BASE(e1 += e2)     = BASE(e1)
+    BASE(e1 -= e2)     = BASE(e1)
+    BASE(e1++) = BASE(++e1) = BASE(e1)
+    BASE(e1--) = BASE(--e1) = BASE(e1)
+    BASE(e1 + e2)      = BASE(e1)     where e1 is the operand with pointer type
+    BASE(e1 - e2)      = BASE(e1)
+    BASE(e1, e2)       = BASE(e2)
+    BASE(&e1)          = BASEADDR(e1)
+
+    BASEADDR(x)        = NIL          if x is a variable
+    BASEADDR(e1[e2])   = BASE(e1)     if BASE(e1) is not NIL
+    BASEADDR(e1[e2])   = BASE(e2)     if BASE(e1) is NIL
+    BASEADDR(e1 -> x)  = BASE(e1)
+
+BASE is *not* defined for generating expressions (pointer dereferences,
+function calls, conditional expressions): the algorithm assumes those
+are assigned to temporaries whose values already count as KEEP_LIVE
+results.  We additionally define the natural closure cases the paper
+leaves implicit: casts are transparent (pointer-to-pointer only),
+``BASEADDR(e.x) = BASEADDR(e)`` and ``BASEADDR(*e) = BASE(e)``.
+"""
+
+from __future__ import annotations
+
+from ..cfront import cast as A
+from ..cfront.ctypes import Pointer
+from ..cfront.symbols import SymbolTable
+
+
+def _is_heap_pointer_var(e: A.Expr) -> bool:
+    """'x is a variable and possible heap pointer': a pointer-typed
+    identifier.  Array-typed identifiers denote stack/static storage, so
+    they are never heap pointers themselves."""
+    return isinstance(e, A.Ident) and e.ctype is not None and e.ctype.is_pointer
+
+
+def base_of(e: A.Expr) -> A.Ident | None:
+    """BASE(e): the base pointer variable, or None for NIL."""
+    if isinstance(e, (A.IntLit, A.CharLit, A.FloatLit, A.StringLit)):
+        return None
+    if isinstance(e, A.Ident):
+        return e if _is_heap_pointer_var(e) else None
+    if isinstance(e, A.Assign):
+        if e.op == "=":
+            if _is_heap_pointer_var(e.target):
+                return e.target  # type: ignore[return-value]
+            return base_of(e.value)
+        if e.op in ("+=", "-="):
+            return base_of(e.target)
+        return None
+    if isinstance(e, (A.Unary, A.Postfix)) and e.op in ("++", "--"):
+        return base_of(e.operand)
+    if isinstance(e, A.Binary) and e.op in ("+", "-"):
+        left_ptr = e.left.ctype is not None and e.left.ctype.decay().is_pointer
+        if left_ptr:
+            return base_of(e.left)
+        right_ptr = e.right.ctype is not None and e.right.ctype.decay().is_pointer
+        if right_ptr:
+            return base_of(e.right)
+        return None
+    if isinstance(e, A.Comma):
+        return base_of(e.items[-1]) if e.items else None
+    if isinstance(e, A.Unary) and e.op == "&":
+        return baseaddr_of(e.operand)
+    if isinstance(e, A.Cast):
+        # Pointer-to-pointer casts are transparent; anything else (int to
+        # pointer, etc.) manufactures a pointer with no base.
+        src = e.operand.ctype
+        if isinstance(e.to_type, Pointer) and src is not None and src.decay().is_pointer:
+            return base_of(e.operand)
+        return None
+    if isinstance(e, A.KeepLive):
+        return base_of(e.value)
+    if isinstance(e, A.Cond):
+        # Generating expression: BASE undefined.
+        return None
+    if isinstance(e, A.Call):
+        return None
+    if isinstance(e, A.Unary) and e.op == "*":
+        return None  # dereference: generating expression
+    if isinstance(e, (A.Index, A.Member)):
+        # As an rvalue these are loads, i.e. generating expressions.  The
+        # special handling for their *addresses* lives in baseaddr_of.
+        return None
+    return None
+
+
+def baseaddr_of(e: A.Expr) -> A.Ident | None:
+    """BASEADDR(e): the possible base pointer for &e, or None for NIL."""
+    if isinstance(e, A.Ident):
+        return None  # address of a variable: stack or static storage
+    if isinstance(e, A.Index):
+        base = base_of(e.base)
+        if base is not None:
+            return base
+        return base_of(e.index)
+    if isinstance(e, A.Member):
+        if e.arrow:
+            return base_of(e.base)
+        return baseaddr_of(e.base)
+    if isinstance(e, A.Unary) and e.op == "*":
+        return base_of(e.operand)
+    if isinstance(e, A.StringLit):
+        return None
+    # Other expressions are not lvalues; their address may not be taken.
+    return None
+
+
+def is_plain_copy(e: A.Expr) -> bool:
+    """Optimization (1) of the paper: an expression result "statically
+    known to be simply a copy of a value logically stored elsewhere"
+    needs no KEEP_LIVE, because condition (2) of KEEP_LIVE already
+    guarantees the underlying value stays visible.
+
+    Copies: identifiers, loads (``*p``, ``p[i]``, ``p->f``, ``s.f``),
+    pointer-to-pointer casts of copies, comma expressions ending in a
+    copy, already-wrapped KEEP_LIVE results, and literals.
+    """
+    if isinstance(e, (A.Ident, A.StringLit, A.IntLit, A.CharLit, A.KeepLive)):
+        return True
+    if isinstance(e, A.Unary) and e.op == "*":
+        return True
+    if isinstance(e, (A.Index, A.Member)):
+        return True
+    if isinstance(e, A.Cast):
+        src = e.operand.ctype
+        if isinstance(e.to_type, Pointer) and src is not None and src.decay().is_pointer:
+            return is_plain_copy(e.operand)
+        return False
+    if isinstance(e, A.Comma):
+        return bool(e.items) and is_plain_copy(e.items[-1])
+    if isinstance(e, A.Assign) and e.op == "=":
+        # The assignment stores the value; the result is that stored copy.
+        return is_plain_copy(e.value) or isinstance(e.target, A.Ident)
+    return False
+
+
+def is_generating(e: A.Expr) -> bool:
+    """Generating expressions (paper): pointer dereferences, function
+    calls, conditional expressions.  Their results are treated as values
+    of KEEP_LIVE expressions (allocation results in particular), so the
+    annotator never wraps them directly."""
+    if isinstance(e, A.Call):
+        return True
+    if isinstance(e, A.Cond):
+        return True
+    if isinstance(e, A.Unary) and e.op == "*":
+        return True
+    if isinstance(e, (A.Index, A.Member)):
+        return True
+    return False

@@ -1,0 +1,114 @@
+"""Insertion/deletion edit lists keyed by character position.
+
+The paper's preprocessor "maintains a copy of the input file ...  In the
+process it generates a list of insertions and deletions, sorted by
+character position in the original source string.  After parsing is
+complete, the insertions and deletions are applied to the original
+source."  This module reproduces that machinery: the annotator records
+replacements against node spans, and :func:`splice` applies the
+outermost ones to the original text, leaving untouched code untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfront import cast as A
+from ..cfront.errors import SourceSpan
+from ..cfront.unparse import Unparser
+
+
+@dataclass(frozen=True)
+class Edit:
+    """Replace source[start:end] with ``text`` (pure insertion when
+    start == end)."""
+
+    start: int
+    end: int
+    text: str
+
+
+class EditList:
+    """A set of non-overlapping edits, applied back-to-front."""
+
+    def __init__(self):
+        self._edits: list[Edit] = []
+
+    def insert(self, pos: int, text: str) -> None:
+        self.replace(pos, pos, text)
+
+    def delete(self, start: int, end: int) -> None:
+        self.replace(start, end, "")
+
+    def replace(self, start: int, end: int, text: str) -> None:
+        if start < 0 or end < start:
+            raise ValueError(f"bad edit range [{start}, {end})")
+        self._edits.append(Edit(start, end, text))
+
+    def __len__(self) -> int:
+        return len(self._edits)
+
+    def __iter__(self):
+        return iter(sorted(self._edits, key=lambda e: (e.start, e.end)))
+
+    def apply(self, source: str) -> str:
+        """Apply all edits.  Overlapping edits are an error (the caller
+        is responsible for keeping only outermost replacements)."""
+        ordered = sorted(self._edits, key=lambda e: (e.start, e.end))
+        for prev, cur in zip(ordered, ordered[1:]):
+            if cur.start < prev.end:
+                raise ValueError(f"overlapping edits at {prev.start}..{prev.end} "
+                                 f"and {cur.start}..{cur.end}")
+        out: list[str] = []
+        cursor = 0
+        for edit in ordered:
+            out.append(source[cursor:edit.start])
+            out.append(edit.text)
+            cursor = edit.end
+        out.append(source[cursor:])
+        return "".join(out)
+
+
+def outermost(replacements: list) -> list:
+    """Keep only replacements not strictly contained in another one.
+    When spans tie, the later-recorded (outer-constructed) entry wins."""
+    kept: list = []
+    for i, rep in enumerate(replacements):
+        contained = False
+        for j, other in enumerate(replacements):
+            if i == j:
+                continue
+            inside = (other.span.start <= rep.span.start
+                      and rep.span.end <= other.span.end)
+            strictly = (other.span.start < rep.span.start
+                        or rep.span.end < other.span.end)
+            if inside and (strictly or j > i):
+                contained = True
+                break
+        if not contained:
+            kept.append(rep)
+    return kept
+
+
+def splice(source: str, replacements: list,
+           extra_inserts: list[tuple[int, str]] | None = None) -> str:
+    """Render the annotated program by splicing replacement text into the
+    original source, preserving all untouched formatting.
+
+    ``extra_inserts`` carries pure insertions (e.g. temporary-variable
+    declarations at function-body starts, extern declarations at the top
+    of the file).
+    """
+    unparser = Unparser()
+    edits = EditList()
+    for rep in outermost(replacements):
+        if isinstance(rep.node, A.Expr):
+            # Parenthesize: the replacement lands in an unknown
+            # precedence context within the original text.
+            text = f"({unparser.expr(rep.node)})"
+        else:
+            text = unparser.stmt(rep.node)
+        edits.replace(rep.span.start, rep.span.end, text)
+    for pos, text in extra_inserts or []:
+        edits.insert(pos, text)
+    return edits.apply(source)

@@ -1,0 +1,50 @@
+"""Post-annotation cleanup: fold ``*&e`` back to ``e``.
+
+The annotator normalizes heap lvalue chains to ``*&(chain)`` so the
+address computation becomes the dereference argument (the form the paper
+assumes).  Where no KEEP_LIVE ended up between the ``*`` and the ``&``,
+the detour is folded away again, so un-annotated expressions unparse in
+their original shape.  This mirrors the paper's "&*e have been
+simplified to e" assumption.
+"""
+
+from __future__ import annotations
+
+from ..cfront import cast as A
+
+
+def simplify_unit(unit: A.TranslationUnit) -> None:
+    for item in unit.items:
+        _visit(item)
+
+
+def _visit(node: A.Node) -> None:
+    for name, value in vars(node).items():
+        if isinstance(value, A.Expr):
+            setattr(node, name, _fold(value))
+        elif isinstance(value, A.Node):
+            _visit(value)
+        elif isinstance(value, list):
+            new_list = []
+            for item in value:
+                if isinstance(item, A.Expr):
+                    new_list.append(_fold(item))
+                elif isinstance(item, A.Node):
+                    _visit(item)
+                    new_list.append(item)
+                else:
+                    new_list.append(item)
+            setattr(node, name, new_list)
+
+
+def _fold(e: A.Expr) -> A.Expr:
+    _visit(e)
+    if isinstance(e, A.Unary) and e.op == "*":
+        inner = e.operand
+        if isinstance(inner, A.Unary) and inner.op == "&":
+            return inner.operand
+    if isinstance(e, A.Unary) and e.op == "&":
+        inner = e.operand
+        if isinstance(inner, A.Unary) and inner.op == "*":
+            return inner.operand
+    return e

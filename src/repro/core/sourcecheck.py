@@ -1,0 +1,119 @@
+"""Source-safety diagnostics (paper, "Source Checking" section).
+
+The paper's assumptions about input programs:
+
+1. No integers are converted to heap pointers.  Conversion of a pointer
+   to an integer and back without intervening arithmetic is benign, as
+   is converting very small integers to pointers that are never
+   dereferenced.  "Our preprocessor issues warnings when nonpointer
+   values are directly converted to pointers."  It "could and should"
+   also warn about suspicious casts between unrelated structure pointer
+   types.
+
+2. Pointers are not hidden from the collector by writing them to files
+   and reading them back (``scanf`` with ``%p``, ``fread`` into a
+   pointer-containing type, mismatched ``memcpy``/``memmove``).  The
+   paper notes this "should be easily checkable, though we currently
+   don't do so" — we do check the recognizable syntactic cases.
+"""
+
+from __future__ import annotations
+
+from ..cfront import cast as A
+from ..cfront.ctypes import Pointer, Struct, may_hold_heap_pointer
+from ..cfront.errors import Diagnostic
+
+_SCANF_FAMILY = frozenset({"scanf", "fscanf", "sscanf"})
+_RAW_COPY = frozenset({"memcpy", "memmove", "fread"})
+
+
+def check_unit(unit: A.TranslationUnit) -> list[Diagnostic]:
+    """Run all source-safety checks over a typechecked unit."""
+    diags: list[Diagnostic] = []
+    for node in A.walk(unit):
+        if isinstance(node, A.Cast):
+            diags.extend(_check_cast(node))
+        elif isinstance(node, A.Call):
+            diags.extend(_check_call(node))
+    diags.sort(key=lambda d: d.pos)
+    return diags
+
+
+def _check_cast(cast: A.Cast) -> list[Diagnostic]:
+    src = cast.operand.ctype
+    dst = cast.to_type
+    if src is None or not isinstance(dst, Pointer):
+        return []
+    src = src.decay()
+    pos = cast.span.start
+    if src.is_integer:
+        if _is_small_int_constant(cast.operand):
+            return []  # converting very small integers to pointers is common and benign
+        if _is_direct_pointer_round_trip(cast.operand):
+            # "conversion of a pointer to an integer and back, without
+            # intervening arithmetic, is benign"
+            return []
+        return [Diagnostic(pos, "nonpointer value converted to pointer "
+                                "(possible disguised pointer)", "int-to-pointer")]
+    if isinstance(src, Pointer):
+        a, b = src.target, dst.target
+        if isinstance(a, Struct) and isinstance(b, Struct) and a is not b:
+            if not _prefix_compatible(a, b):
+                return [Diagnostic(pos,
+                                   f"cast between unrelated structure pointer types "
+                                   f"({a} to {b}) may disguise pointers",
+                                   "struct-pointer-cast")]
+    return []
+
+
+def _check_call(call: A.Call) -> list[Diagnostic]:
+    if not isinstance(call.func, A.Ident):
+        return []
+    name = call.func.name
+    pos = call.span.start
+    if name in _SCANF_FAMILY:
+        for arg in call.args:
+            if isinstance(arg, A.StringLit) and "%p" in arg.value:
+                return [Diagnostic(pos, f"{name} with %p can read in a pointer "
+                                        "invisible to the collector", "pointer-input")]
+        return []
+    if name in _RAW_COPY and call.args:
+        dest = call.args[0]
+        dest_t = dest.ctype.decay() if dest.ctype is not None else None
+        if isinstance(dest_t, Pointer) and may_hold_heap_pointer(dest_t.target):
+            return [Diagnostic(pos, f"{name} into a pointer-containing type can hide "
+                                    "pointers from the collector", "raw-pointer-copy")]
+    return []
+
+
+def _is_direct_pointer_round_trip(e: A.Expr) -> bool:
+    """(T *)(int)p with no intervening arithmetic: benign per the paper.
+    Through a variable we stay conservative and warn."""
+    if isinstance(e, A.Cast):
+        inner_t = e.operand.ctype
+        if inner_t is not None and inner_t.decay().is_pointer:
+            return True
+        return _is_direct_pointer_round_trip(e.operand)
+    return False
+
+
+def _is_small_int_constant(e: A.Expr) -> bool:
+    if isinstance(e, A.IntLit):
+        return 0 <= e.value < 4096
+    if isinstance(e, A.Cast):
+        return _is_small_int_constant(e.operand)
+    return False
+
+
+def _prefix_compatible(a: Struct, b: Struct) -> bool:
+    """Two struct types are prefix-compatible when the shorter one's
+    field types match the prefix of the longer one's — the common C
+    idiom of a shared header, which does not disguise pointers."""
+    shorter, longer = (a, b) if len(a.fields) <= len(b.fields) else (b, a)
+    for fa, fb in zip(shorter.fields, longer.fields):
+        ta, tb = fa.ctype, fb.ctype
+        if ta.is_pointer != tb.is_pointer:
+            return False
+        if not ta.is_pointer and ta.size != tb.size:
+            return False
+    return True

@@ -1,0 +1,17 @@
+"""Conservative garbage collector substrate (Boehm-style): simulated
+memory, page-table, size-class heap, mark-sweep collector, and the
+pointer-arithmetic checking primitives."""
+
+from .collector import Collector, GCCheckError, GCStats, RootRange
+from .heap import GRANULE, Heap, PageDescriptor, round_size
+from .memory import (
+    HEAP_BASE, Memory, MemoryFault, PAGE_SIZE, STACK_TOP, STATIC_BASE,
+)
+from .pagetable import PageTable
+
+__all__ = [
+    "Collector", "GCCheckError", "GCStats", "RootRange",
+    "GRANULE", "Heap", "PageDescriptor", "round_size",
+    "HEAP_BASE", "Memory", "MemoryFault", "PAGE_SIZE", "STACK_TOP",
+    "STATIC_BASE", "PageTable",
+]

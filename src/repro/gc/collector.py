@@ -1,0 +1,264 @@
+"""Conservative mark-sweep collector over the simulated memory.
+
+Semantics follow the paper's "Compiler Safety Problem Statement":
+
+* GC-roots are the machine stack, registers, and statically allocated
+  memory; the collector preserves every object reachable from a GC-root,
+  possibly through heap-resident pointers.
+* Any address corresponding to some place *inside* a heap object is
+  recognized as a valid pointer (interior pointers), the default
+  configuration of [Boehm95].
+* The "Extensions" section's alternative mode — interior pointers valid
+  only when they originate from the stack or registers — is available
+  via ``interior_from_roots_only``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from .heap import Heap, PageDescriptor
+from .memory import HEAP_BASE, Memory
+from ..cfront.ctypes import WORD_SIZE
+
+
+class GCCheckError(Exception):
+    """A pointer-arithmetic check (GC_same_obj family) failed."""
+
+
+@dataclass
+class GCStats:
+    collections: int = 0
+    bytes_allocated: int = 0
+    objects_allocated: int = 0
+    objects_reclaimed: int = 0
+    bytes_reclaimed: int = 0
+    marked_last_gc: int = 0
+    checks_performed: int = 0
+
+
+@dataclass
+class RootRange:
+    """A half-open address range scanned conservatively word by word."""
+
+    start: int
+    end: int
+    name: str = ""
+
+
+class Collector:
+    """The public collector facade: GC_malloc / GC_collect / GC_base /
+    GC_same_obj, root registration, and the allocation-driven trigger."""
+
+    def __init__(self, memory: Memory | None = None,
+                 heap_base: int = HEAP_BASE,
+                 heap_limit: int = 64 * 1024 * 1024,
+                 initial_threshold: int = 64 * 1024,
+                 interior_from_roots_only: bool = False):
+        self.memory = memory if memory is not None else Memory()
+        self.heap = Heap(self.memory, heap_base, heap_limit)
+        self.static_roots: list[RootRange] = []
+        self.dynamic_root_providers: list[Callable[[], Iterable[int]]] = []
+        self.range_providers: list[Callable[[], Iterable[RootRange]]] = []
+        self.stats = GCStats()
+        self.interior_from_roots_only = interior_from_roots_only
+        self._threshold = initial_threshold
+        self._allocated_since_gc = 0
+        self.collections_enabled = True
+
+    # -- roots ----------------------------------------------------------------
+
+    def add_static_root(self, start: int, size: int, name: str = "") -> None:
+        self.static_roots.append(RootRange(start, start + size, name))
+
+    def add_root_provider(self, provider: Callable[[], Iterable[int]]) -> None:
+        """Register a callback yielding candidate root *values* (e.g. the
+        VM's current register contents)."""
+        self.dynamic_root_providers.append(provider)
+
+    def add_range_provider(self, provider: Callable[[], Iterable[RootRange]]) -> None:
+        """Register a callback yielding address ranges to scan (e.g. the
+        live portion of the VM stack)."""
+        self.range_providers.append(provider)
+
+    # -- allocation -------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        """GC_malloc: allocate zeroed memory, collecting first when the
+        allocation budget since the last collection is exhausted."""
+        if self.collections_enabled and self._allocated_since_gc >= self._threshold:
+            self.collect()
+        addr = self.heap.allocate(size)
+        self.stats.bytes_allocated += size
+        self.stats.objects_allocated += 1
+        self._allocated_since_gc += size
+        return addr
+
+    def malloc_atomic(self, size: int) -> int:
+        """GC_malloc_atomic: allocate pointer-free memory.  The mark
+        phase never scans it, so bit patterns inside (string bytes,
+        bignum digits) cannot cause false retention."""
+        if self.collections_enabled and self._allocated_since_gc >= self._threshold:
+            self.collect()
+        addr = self.heap.allocate(size, atomic=True)
+        self.stats.bytes_allocated += size
+        self.stats.objects_allocated += 1
+        self._allocated_since_gc += size
+        return addr
+
+    def realloc(self, addr: int, new_size: int) -> int:
+        """GC_realloc: grow/shrink by copy; old object is simply dropped
+        (the collector reclaims it)."""
+        if addr == 0:
+            return self.malloc(new_size)
+        old_base = self.heap.base_of(addr)
+        if old_base is None:
+            raise GCCheckError(f"realloc of non-heap address 0x{addr:08x}")
+        old_size = self.heap.size_of(old_base) or 0
+        new_addr = self.malloc(new_size)
+        data = self.memory.read_bytes(old_base, min(old_size, new_size))
+        self.memory.write_bytes(new_addr, data)
+        return new_addr
+
+    # -- collection ----------------------------------------------------------------
+
+    def collect(self) -> int:
+        """Run a full mark-sweep collection; return objects reclaimed."""
+        self.stats.collections += 1
+        self._mark()
+        reclaimed = self._sweep()
+        self._allocated_since_gc = 0
+        self._threshold = max(self._threshold, 2 * self.heap.bytes_in_use)
+        return reclaimed
+
+    def _mark(self) -> None:
+        worklist: list[int] = []
+        marked = 0
+
+        def consider(value: int, from_roots: bool) -> None:
+            nonlocal marked
+            desc = self.heap.descriptor_for(value)
+            if desc is None:
+                return
+            if self.interior_from_roots_only and not from_roots:
+                # Extensions mode: heap-resident pointers must point at
+                # the base of an object to be recognized.
+                idx = desc.object_index(value)
+                if idx is None or desc.object_base(idx) != value:
+                    return
+            base = self.heap.base_of(value)
+            if base is None:
+                return
+            d = self.heap.descriptor_for(base)
+            assert isinstance(d, PageDescriptor)
+            idx = d.object_index(base)
+            assert idx is not None
+            if not d.mark[idx]:
+                d.mark[idx] = True
+                marked += 1
+                worklist.append(base)
+
+        for root in self._all_root_ranges():
+            addr = root.start & ~(WORD_SIZE - 1)
+            while addr + WORD_SIZE <= root.end:
+                if self.memory.is_mapped(addr):
+                    consider(self.memory.load_word(addr), from_roots=True)
+                addr += WORD_SIZE
+        for provider in self.dynamic_root_providers:
+            for value in provider():
+                consider(value, from_roots=True)
+
+        while worklist:
+            base = worklist.pop()
+            desc = self.heap.descriptor_for(base)
+            if isinstance(desc, PageDescriptor) and desc.atomic:
+                continue  # pointer-free: nothing inside to trace
+            size = self.heap.size_of(base) or 0
+            for off in range(0, size - WORD_SIZE + 1, WORD_SIZE):
+                consider(self.memory.load_word(base + off), from_roots=False)
+        self.stats.marked_last_gc = marked
+
+    def _all_root_ranges(self) -> Iterable[RootRange]:
+        yield from self.static_roots
+        for provider in self.range_providers:
+            yield from provider()
+
+    def _sweep(self) -> int:
+        reclaimed = 0
+        for desc in self.heap.all_pages:
+            for idx in range(desc.n_objects):
+                if desc.alloc[idx] and not desc.mark[idx]:
+                    self.stats.bytes_reclaimed += desc.obj_size
+                    self.heap.free_object(desc, idx)
+                    reclaimed += 1
+                desc.mark[idx] = False
+        self.stats.objects_reclaimed += reclaimed
+        return reclaimed
+
+    # -- the checking primitives (paper, "Debugging Applications") --------------
+
+    def base(self, addr: int) -> int | None:
+        """GC_base: start of the live heap object containing ``addr``."""
+        return self.heap.base_of(addr)
+
+    def is_heap_pointer(self, addr: int) -> bool:
+        return self.heap.base_of(addr) is not None
+
+    def same_obj(self, p: int, q: int) -> int:
+        """GC_same_obj(p, q): check that ``p`` points to the same heap
+        object as ``q``; return ``p``.
+
+        Like the paper we do not check references to statically
+        allocated or stack memory: when ``q`` is not a heap pointer,
+        ``p`` passes unchecked.  One-past-the-end pointers pass because
+        every object carries an extra byte (see ``round_size``).
+        """
+        self.stats.checks_performed += 1
+        q_base = self.heap.base_of(q)
+        if q_base is None:
+            return p
+        p_base = self.heap.base_of(p)
+        if p_base is None:
+            raise GCCheckError(
+                f"pointer arithmetic moved 0x{q:08x} outside its object "
+                f"(result 0x{p:08x} is not inside any live heap object)")
+        if p_base != q_base:
+            raise GCCheckError(
+                f"pointer arithmetic crossed objects: 0x{p:08x} is in the "
+                f"object at 0x{p_base:08x}, but its base 0x{q:08x} is in "
+                f"the object at 0x{q_base:08x}")
+        return p
+
+    def check_base(self, p: int) -> int:
+        """GC_check_base(p): verify that a pointer about to be stored in
+        the heap or in a static variable points to the *base* of its
+        object — the dynamic check of the paper's Extensions section
+        ("It would again be possible to insert dynamic checks to verify
+        this").  Null and non-heap pointers pass."""
+        self.stats.checks_performed += 1
+        if p == 0:
+            return p
+        base = self.heap.base_of(p)
+        if base is not None and base != p:
+            raise GCCheckError(
+                f"interior pointer 0x{p:08x} (object base 0x{base:08x}) "
+                f"stored where only base pointers are allowed")
+        return p
+
+    def pre_incr(self, p_slot: int, delta: int) -> int:
+        """GC_pre_incr(&p, n): p += n with a same-object check; returns
+        the new value of p."""
+        old = self.memory.load_word(p_slot)
+        new = (old + delta) % (1 << 32)
+        self.same_obj(new, old)
+        self.memory.store_word(p_slot, new)
+        return new
+
+    def post_incr(self, p_slot: int, delta: int) -> int:
+        """GC_post_incr(&p, n): p += n with a check; returns the old p."""
+        old = self.memory.load_word(p_slot)
+        new = (old + delta) % (1 << 32)
+        self.same_obj(new, old)
+        self.memory.store_word(p_slot, new)
+        return old

@@ -1,0 +1,126 @@
+"""Flat byte-addressed simulated memory.
+
+Addresses are plain Python ints in a 32-bit space, matching the paper's
+ILP32 machines.  Storage is sparse (per-page bytearrays) so the address
+layout can mirror a real process: statics low, heap in the middle, the
+stack growing down from high addresses.
+
+Both the VM (registers, stack, globals) and the collector (heap pages,
+conservative scanning) operate on one :class:`Memory` instance — this is
+what makes "any bit pattern that might represent the address of a heap
+object" scannable, the defining property of a conservative collector.
+"""
+
+from __future__ import annotations
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4 KiB, as in the Boehm collector
+PAGE_MASK = PAGE_SIZE - 1
+
+ADDRESS_BITS = 32
+ADDRESS_LIMIT = 1 << ADDRESS_BITS
+
+# Default process layout.
+STATIC_BASE = 0x0001_0000
+HEAP_BASE = 0x0010_0000
+STACK_TOP = 0x0800_0000
+
+
+class MemoryFault(Exception):
+    """Access to an unmapped address or out-of-range width."""
+
+    def __init__(self, addr: int, why: str = "unmapped address"):
+        self.addr = addr
+        super().__init__(f"{why}: 0x{addr:08x}")
+
+
+class Memory:
+    """Sparse paged memory with little-endian typed accessors."""
+
+    def __init__(self):
+        self._pages: dict[int, bytearray] = {}
+
+    # -- mapping ----------------------------------------------------------
+
+    def map_page(self, addr: int) -> bytearray:
+        """Ensure the page containing ``addr`` exists; return it."""
+        idx = addr >> PAGE_SHIFT
+        page = self._pages.get(idx)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[idx] = page
+        return page
+
+    def map_range(self, start: int, size: int) -> None:
+        for idx in range(start >> PAGE_SHIFT, (start + size - 1 >> PAGE_SHIFT) + 1):
+            if idx not in self._pages:
+                self._pages[idx] = bytearray(PAGE_SIZE)
+
+    def unmap_page(self, addr: int) -> None:
+        self._pages.pop(addr >> PAGE_SHIFT, None)
+
+    def is_mapped(self, addr: int) -> bool:
+        return (addr >> PAGE_SHIFT) in self._pages
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._pages)
+
+    # -- typed access -----------------------------------------------------
+
+    def _page_for(self, addr: int, width: int) -> tuple[bytearray, int]:
+        if addr < 0 or addr + width > ADDRESS_LIMIT:
+            raise MemoryFault(addr, "address out of range")
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if page is None:
+            raise MemoryFault(addr)
+        return page, addr & PAGE_MASK
+
+    def load(self, addr: int, width: int = 4, signed: bool = False) -> int:
+        """Load ``width`` bytes little-endian.  Crossing a page boundary
+        is supported (needed for conservative scans of unaligned data)."""
+        off = addr & PAGE_MASK
+        if off + width <= PAGE_SIZE:
+            page, off = self._page_for(addr, width)
+            raw = bytes(page[off : off + width])
+        else:
+            raw = bytes(self.load(addr + i, 1) for i in range(width))
+        return int.from_bytes(raw, "little", signed=signed)
+
+    def store(self, addr: int, value: int, width: int = 4) -> None:
+        off = addr & PAGE_MASK
+        if off + width > PAGE_SIZE:
+            data = (value % (1 << (8 * width))).to_bytes(width, "little")
+            for i, b in enumerate(data):
+                self.store(addr + i, b, 1)
+            return
+        page, off = self._page_for(addr, width)
+        page[off : off + width] = (value % (1 << (8 * width))).to_bytes(width, "little")
+
+    def load_word(self, addr: int) -> int:
+        return self.load(addr, 4)
+
+    def store_word(self, addr: int, value: int) -> None:
+        self.store(addr, value, 4)
+
+    # -- bulk helpers -------------------------------------------------------
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        for i, b in enumerate(data):
+            self.store(addr + i, b, 1)
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        return bytes(self.load(addr + i, 1) for i in range(size))
+
+    def read_cstring(self, addr: int, limit: int = 1 << 16) -> str:
+        out = bytearray()
+        for i in range(limit):
+            b = self.load(addr + i, 1)
+            if b == 0:
+                break
+            out.append(b)
+        return out.decode("latin-1")
+
+    def fill(self, addr: int, size: int, byte: int = 0) -> None:
+        for i in range(size):
+            self.store(addr + i, byte, 1)

@@ -1,0 +1,117 @@
+"""End-to-end compilation driver.
+
+Reproduces the paper's build matrix as configurations:
+
+=============  =========  ==========  =======================================
+config          optimizer  annotation  paper column
+=============  =========  ==========  =======================================
+``O``           on         none        the ``-O``/``-O2`` baseline (unsafe!)
+``O_safe``      on         KEEP_LIVE   "-O, safe"
+``g``           off        none        "-g" (fully debuggable, hence GC-safe)
+``g_checked``   off        checked     "-g, checked" (GC_same_obj calls)
+=============  =========  ==========  =======================================
+
+Use :func:`compile_source` + :class:`repro.machine.vm.VM` to run, or the
+convenience :func:`run_source`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..cfront.cpp import preprocess
+from ..cfront.parser import parse
+from ..cfront.typecheck import typecheck
+from ..core.annotate import AnnotateOptions, Annotator
+from ..gc.collector import Collector
+from .asm import MProgram
+from .codegen import generate_program
+from .ir import IRProgram
+from .lower import lower_unit
+from .models import MachineModel, SPARC_10
+from .opt import DEFAULT_PASSES, optimize
+from .vm import VM, RunResult
+
+CONFIGS = ("O", "O_safe", "g", "g_checked")
+
+
+@dataclass
+class CompileConfig:
+    """One cell of the paper's build matrix."""
+
+    optimize: bool = True
+    safe: bool = False  # KEEP_LIVE annotation (GC-safety mode)
+    checked: bool = False  # GC_same_obj annotation (debug checking mode)
+    model: MachineModel = SPARC_10
+    passes: tuple[str, ...] = DEFAULT_PASSES
+    annotate_options: AnnotateOptions | None = None
+    # The paper's naive KEEP_LIVE implementation: "a call to an external
+    # function whose implementation is unavailable to the compiler ...
+    # but which actually just returns its first argument.  This
+    # implementation ... is, of course, terribly inefficient."  When set,
+    # safe-mode KEEP_LIVE lowers to a real call instead of the zero-cost
+    # barrier, so the difference is measurable (ablation benchmark).
+    naive_keep_live: bool = False
+    run_cpp: bool = True
+    include_dirs: list[str] = field(default_factory=list)
+
+    @staticmethod
+    def named(name: str, model: MachineModel = SPARC_10) -> "CompileConfig":
+        if name == "O":
+            return CompileConfig(optimize=True, model=model)
+        if name == "O_safe":
+            return CompileConfig(optimize=True, safe=True, model=model)
+        if name == "g":
+            return CompileConfig(optimize=False, model=model)
+        if name == "g_checked":
+            return CompileConfig(optimize=False, checked=True, model=model)
+        raise ValueError(f"unknown config {name!r} (expected one of {CONFIGS})")
+
+
+@dataclass
+class CompiledProgram:
+    asm: MProgram
+    ir: IRProgram
+    config: CompileConfig
+    keep_lives: int = 0
+
+    @property
+    def code_size(self) -> int:
+        return self.asm.code_size()
+
+    def render_asm(self) -> str:
+        return self.asm.render()
+
+
+def compile_source(source: str, config: CompileConfig | None = None) -> CompiledProgram:
+    """Compile C source through the full pipeline for one configuration."""
+    config = config or CompileConfig()
+    if config.run_cpp:
+        source = preprocess(source, config.include_dirs)
+    unit = parse(source)
+    symbols = typecheck(unit)
+    keep_lives = 0
+    if config.safe or config.checked:
+        options = config.annotate_options or AnnotateOptions()
+        options.mode = "checked" if config.checked else "safe"
+        result = Annotator(unit, options).run()
+        keep_lives = result.stats.keep_lives
+        symbols = typecheck(unit)
+    ir = lower_unit(unit, symbols, debug=not config.optimize,
+                    naive_keep_live=config.naive_keep_live)
+    opt = (lambda fn: optimize(fn, config.passes)) if config.optimize else None
+    asm = generate_program(ir, config.model, opt)
+    return CompiledProgram(asm, ir, config, keep_lives)
+
+
+def run_source(source: str, config: CompileConfig | None = None,
+               entry: str = "main", stdin: str = "",
+               gc_interval: int = 0, collector: Collector | None = None,
+               max_instructions: int = 500_000_000) -> RunResult:
+    """Compile and execute in one step."""
+    compiled = compile_source(source, config)
+    vm = VM(compiled.asm, (config or CompileConfig()).model,
+            collector=collector, gc_interval=gc_interval,
+            max_instructions=max_instructions)
+    vm.stdin = stdin
+    return vm.run(entry)

@@ -1,0 +1,32 @@
+"""The optimizer pipeline.
+
+Order matters: local value numbering first (feeds everything), loop-
+invariant hoisting, strength reduction, the address-reassociation
+"disguising" pass, then dead-code elimination to sweep up, iterated to a
+fixpoint.
+"""
+
+from . import addrfold, deadcode, indvar, licm, local, strength
+from ..ir import IRFunc
+
+DEFAULT_PASSES = ("local", "licm", "strength", "addrfold", "deadcode")
+
+_PASS_FNS = {
+    "local": local.run,
+    "licm": licm.run,
+    "strength": strength.run,
+    "addrfold": addrfold.run,
+    "indvar": indvar.run,  # not in DEFAULT_PASSES; see opt/indvar.py
+    "deadcode": deadcode.run,
+}
+
+
+def optimize(fn: IRFunc, passes: tuple[str, ...] = DEFAULT_PASSES,
+             max_rounds: int = 4) -> None:
+    """Run the pass pipeline over ``fn`` until a fixpoint (bounded)."""
+    for _ in range(max_rounds):
+        changed = False
+        for name in passes:
+            changed |= _PASS_FNS[name](fn)
+        if not changed:
+            return

@@ -1,0 +1,31 @@
+"""Global dead-code elimination over virtual registers.
+
+Removes pure instructions whose destination is never used (iterating to
+a fixpoint so chains of dead computations disappear).  ``keep`` is never
+removed: it is the optimization barrier whose entire purpose is to
+survive passes like this one.
+"""
+
+from __future__ import annotations
+
+from ..ir import Inst, IRFunc, Vreg
+
+_PURE_OPS = frozenset("const mov un bin la frame load".split())
+
+
+def run(fn: IRFunc) -> bool:
+    changed = False
+    while True:
+        used: set[Vreg] = set()
+        for inst in fn.insts:
+            used.update(inst.args)
+        dead = [
+            i for i, inst in enumerate(fn.insts)
+            if inst.op in _PURE_OPS and inst.dst is not None
+            and inst.dst not in used
+        ]
+        if not dead:
+            return changed
+        for i in reversed(dead):
+            del fn.insts[i]
+        changed = True

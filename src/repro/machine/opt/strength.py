@@ -1,0 +1,45 @@
+"""Strength reduction: multiplies and divides by powers of two become
+shifts.  Pointer scaling (``p + i*4``) makes this the single most common
+arithmetic pattern in pointer-intensive code, so the paper's machines
+all do it; for us it keeps the ``-O`` baseline honest.
+"""
+
+from __future__ import annotations
+
+from ..ir import Inst, IRFunc, Vreg
+
+
+def run(fn: IRFunc) -> bool:
+    """Rewrite mul/div-by-2^k into shifts; returns True if changed."""
+    # Const values per vreg, valid only when the vreg has exactly one
+    # definition in the whole function (a safe, simple approximation —
+    # lowering emits single-def consts).
+    defs: dict[Vreg, list[Inst]] = {}
+    for inst in fn.insts:
+        if inst.dst is not None:
+            defs.setdefault(inst.dst, []).append(inst)
+    const_of: dict[Vreg, int] = {}
+    for vreg, insts in defs.items():
+        if len(insts) == 1 and insts[0].op == "const":
+            const_of[vreg] = insts[0].imm or 0
+
+    changed = False
+    out: list[Inst] = []
+    for inst in fn.insts:
+        if inst.op == "bin" and inst.subop == "mul" and len(inst.args) == 2:
+            a, b = inst.args
+            cb = const_of.get(b)
+            if cb is None and const_of.get(a) is not None:
+                a, b, cb = b, a, const_of.get(a)
+            if cb is not None and cb > 1 and (cb & (cb - 1)) == 0:
+                shift = cb.bit_length() - 1
+                amount = fn.new_vreg()
+                out.append(Inst("const", dst=amount, imm=shift))
+                out.append(Inst("bin", dst=inst.dst, subop="shl", args=(a, amount)))
+                changed = True
+                continue
+        # Signed division by 2^k is not a plain shift for negative
+        # dividends; keep div (the VM charges full div cost).
+        out.append(inst)
+    fn.insts = out
+    return changed

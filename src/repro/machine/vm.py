@@ -1,0 +1,592 @@
+"""The virtual machine: executes generated machine code against the
+simulated memory, with the conservative collector scanning its
+registers, stack, and static data as GC-roots.
+
+The VM counts instructions and cycles (per the active machine model) —
+those counts are the "running time" of every benchmark table.  An
+``gc_interval`` makes collections fire asynchronously every N
+instructions, the paper's multi-threaded/asynchronous-collection threat
+model under which GC-safety failures become observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gc.collector import Collector, GCCheckError, RootRange
+from ..gc.memory import Memory, MemoryFault, PAGE_SIZE, STACK_TOP, STATIC_BASE
+from .asm import ALU_OPS, ARG_REGS, BRANCH_OPS, FP, MInst, MProgram, RV, SCRATCH, SP, UNARY_OPS
+from .models import MachineModel, SPARC_10
+
+FUNC_BASE = 0x0400_0000
+_MASK = 0xFFFFFFFF
+
+
+class VMError(Exception):
+    pass
+
+
+class ExitProgram(Exception):
+    def __init__(self, code: int):
+        self.code = code
+        super().__init__(f"exit({code})")
+
+
+@dataclass
+class RunResult:
+    exit_code: int
+    instructions: int
+    cycles: int
+    output: str
+    collections: int
+    checks: int
+
+    def __repr__(self) -> str:
+        return (f"RunResult(exit={self.exit_code}, insts={self.instructions}, "
+                f"cycles={self.cycles}, collections={self.collections})")
+
+
+class VM:
+    def __init__(self, program: MProgram, model: MachineModel = SPARC_10,
+                 collector: Collector | None = None,
+                 gc_interval: int = 0, stack_size: int = 1 << 20,
+                 max_instructions: int = 500_000_000):
+        self.program = program
+        self.model = model
+        self.gc = collector if collector is not None else Collector()
+        self.memory: Memory = self.gc.memory
+        self.gc_interval = gc_interval
+        self.max_instructions = max_instructions
+        self.regs: dict[str, int] = {}
+        self.output: list[str] = []
+        self.stdin = ""
+        self._stdin_pos = 0
+        self.instructions = 0
+        self.cycles = 0
+        self._rand_state = 0x2545F491
+
+        self._link(stack_size)
+        self.gc.add_root_provider(self._register_roots)
+        self.gc.add_range_provider(self._stack_and_static_ranges)
+
+    # -- linking -----------------------------------------------------------
+
+    def _link(self, stack_size: int) -> None:
+        addr = STATIC_BASE
+        self.global_addr: dict[str, int] = {}
+        for name, gvar in self.program.globals.items():
+            align = max(gvar.align, 1)
+            addr = (addr + align - 1) // align * align
+            gvar.address = addr
+            self.global_addr[name] = addr
+            self.memory.map_range(addr, max(gvar.size, 1))
+            if gvar.init_bytes:
+                self.memory.write_bytes(addr, gvar.init_bytes)
+            addr += gvar.size
+        self.static_end = addr
+        for name, gvar in self.program.globals.items():
+            for offset, symbol in getattr(gvar, "relocs", []):
+                self.memory.store_word(gvar.address + offset,
+                                       self.global_addr[symbol])
+        # Function entry points get fake, non-heap addresses.
+        self.func_addr: dict[str, int] = {}
+        self.addr_func: dict[int, str] = {}
+        names = list(self.program.functions) + sorted(BUILTINS)
+        for i, name in enumerate(names):
+            fa = FUNC_BASE + i * 16
+            self.func_addr[name] = fa
+            self.addr_func[fa] = name
+        # Flatten code.
+        self.code: dict[str, list[MInst]] = {}
+        self.labels: dict[str, dict[str, int]] = {}
+        for name, mf in self.program.functions.items():
+            self.code[name] = mf.insts
+            self.labels[name] = {inst.symbol: i for i, inst in enumerate(mf.insts)
+                                 if inst.op == "label"}
+        # Stack.
+        self.stack_base = STACK_TOP - stack_size
+        self.memory.map_range(self.stack_base, stack_size)
+
+    # -- roots -------------------------------------------------------------
+
+    def _register_roots(self):
+        return list(self.regs.values())
+
+    def _stack_and_static_ranges(self):
+        sp = self.regs.get(SP, STACK_TOP)
+        yield RootRange(max(sp, self.stack_base), STACK_TOP, "stack")
+        yield RootRange(STATIC_BASE, self.static_end, "static")
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, entry: str = "main", args: tuple[int, ...] = ()) -> RunResult:
+        self.regs = {SP: STACK_TOP - 64, FP: STACK_TOP - 64, RV: 0}
+        for reg in ARG_REGS + SCRATCH:
+            self.regs[reg] = 0
+        for i in range(16):  # allocatable pools (model-sized subsets used)
+            self.regs[f"t{i}"] = 0
+            self.regs[f"s{i}"] = 0
+        for i, a in enumerate(args):
+            self.regs[ARG_REGS[i]] = a & _MASK
+        start_checks = self.gc.stats.checks_performed
+        start_colls = self.gc.stats.collections
+        try:
+            self._call(entry)
+            code = _signed(self.regs[RV])
+        except ExitProgram as ex:
+            code = ex.code
+        return RunResult(code, self.instructions, self.cycles,
+                         "".join(self.output),
+                         self.gc.stats.collections - start_colls,
+                         self.gc.stats.checks_performed - start_checks)
+
+    def _call(self, name: str) -> None:
+        """Execute function ``name`` until it returns (recursive VM calls
+        mirror the call stack; Python recursion depth bounds C depth)."""
+        builtin = BUILTINS.get(name)
+        if builtin is not None:
+            self._run_builtin(name, builtin)
+            return
+        insts = self.code.get(name)
+        if insts is None:
+            raise VMError(f"call to undefined function {name!r}")
+        labels = self.labels[name]
+        regs = self.regs
+        model = self.model
+        pc = 0
+        n = len(insts)
+        while pc < n:
+            inst = insts[pc]
+            op = inst.op
+            self.instructions += 1
+            if self.instructions > self.max_instructions:
+                raise VMError("instruction budget exceeded (runaway program?)")
+            if self.gc_interval and self.instructions % self.gc_interval == 0:
+                self.gc.collect()
+            taken = False
+            if op == "label" or op == "nop" or op == "keepsafe":
+                pass
+            elif op == "li":
+                regs[inst.rd] = (inst.imm or 0) & _MASK
+            elif op == "la":
+                regs[inst.rd] = self._symbol_addr(inst.symbol)
+            elif op == "mov":
+                regs[inst.rd] = regs[inst.rs1]
+            elif op in ALU_OPS:
+                a = regs[inst.rs1]
+                b = regs[inst.rs2] if inst.rs2 is not None else (inst.imm or 0)
+                regs[inst.rd] = _alu(op, a, b)
+            elif op in UNARY_OPS:
+                regs[inst.rd] = _unary(op, regs[inst.rs1])
+            elif op == "ld":
+                addr = regs[inst.rs1] + (regs[inst.rs2] if inst.rs2 else (inst.imm or 0))
+                regs[inst.rd] = self._load(addr & _MASK, inst.width, inst.signed)
+            elif op == "st":
+                addr = regs[inst.rs1] + (regs[inst.rs2] if inst.rs2 else (inst.imm or 0))
+                self._store(addr & _MASK, regs[inst.rd], inst.width)
+            elif op == "jmp":
+                pc = labels[inst.symbol]
+                taken = True
+            elif op == "bz":
+                if regs[inst.rs1] == 0:
+                    pc = labels[inst.symbol]
+                    taken = True
+            elif op == "bnz":
+                if regs[inst.rs1] != 0:
+                    pc = labels[inst.symbol]
+                    taken = True
+            elif op == "call":
+                self.cycles += model.cycles_for(op)
+                self._call(inst.symbol)
+                pc += 1
+                continue
+            elif op == "callr":
+                target = self.addr_func.get(regs[inst.rs1])
+                if target is None:
+                    raise VMError(f"indirect call to non-function address "
+                                  f"0x{regs[inst.rs1]:08x}")
+                self.cycles += model.cycles_for(op)
+                self._call(target)
+                pc += 1
+                continue
+            elif op == "ret":
+                self.cycles += model.cycles_for(op)
+                return
+            else:
+                raise VMError(f"cannot execute {op!r}")
+            self.cycles += model.cycles_for(op, taken)
+            pc += 1
+        # Fell off the end: treat as return.
+
+    def _symbol_addr(self, symbol: str) -> int:
+        addr = self.global_addr.get(symbol)
+        if addr is not None:
+            return addr
+        fa = self.func_addr.get(symbol)
+        if fa is not None:
+            return fa
+        raise VMError(f"undefined symbol {symbol!r}")
+
+    def _load(self, addr: int, width: int, signed: bool) -> int:
+        try:
+            return self.memory.load(addr, width, signed) & _MASK
+        except MemoryFault:
+            raise VMError(f"load fault at 0x{addr:08x}") from None
+
+    def _store(self, addr: int, value: int, width: int) -> None:
+        try:
+            self.memory.store(addr, value, width)
+        except MemoryFault:
+            raise VMError(f"store fault at 0x{addr:08x}") from None
+
+    # -- builtins ------------------------------------------------------------
+
+    def _run_builtin(self, name: str, fn) -> None:
+        args = [self.regs[r] for r in ARG_REGS]
+        value, extra_cycles = fn(self, args)
+        self.regs[RV] = value & _MASK
+        self.cycles += extra_cycles
+
+    # I/O helpers used by builtins.
+
+    def _emit_out(self, text: str) -> None:
+        self.output.append(text)
+
+    def _getchar(self) -> int:
+        if self._stdin_pos >= len(self.stdin):
+            return 0xFFFFFFFF  # EOF (-1)
+        ch = self.stdin[self._stdin_pos]
+        self._stdin_pos += 1
+        return ord(ch) & 0xFF
+
+
+def _signed(x: int) -> int:
+    x &= _MASK
+    return x - (1 << 32) if x >= 1 << 31 else x
+
+
+def _alu(op: str, a: int, b: int) -> int:
+    from .opt.local import eval_bin
+    mapping = {"seq": "eq", "sne": "ne", "slt": "lt", "sle": "le",
+               "sgt": "gt", "sge": "ge", "sltu": "ult", "sleu": "ule",
+               "sgtu": "ugt", "sgeu": "uge", "srl": "shru"}
+    sub = mapping.get(op, op)
+    result = eval_bin(sub, a & _MASK, b & _MASK)
+    if result is None:  # division by zero
+        raise VMError(f"integer division by zero in {op}")
+    return result & _MASK
+
+
+def _unary(op: str, a: int) -> int:
+    from .opt.local import eval_un
+    return eval_un(op, a & _MASK) & _MASK
+
+
+# ---------------------------------------------------------------------------
+# Builtin library ("Standard C libraries were not preprocessed").
+# Each builtin: fn(vm, args[6]) -> (return value, extra cycles).
+# ---------------------------------------------------------------------------
+
+
+def _bi_gc_malloc(vm: VM, args):
+    addr = vm.gc.malloc(_signed(args[0]))
+    return addr, 30
+
+
+def _bi_gc_malloc_atomic(vm: VM, args):
+    addr = vm.gc.malloc_atomic(_signed(args[0]))
+    return addr, 30
+
+
+def _bi_calloc(vm: VM, args):
+    addr = vm.gc.malloc(_signed(args[0]) * _signed(args[1]))
+    return addr, 30
+
+
+def _bi_realloc(vm: VM, args):
+    return vm.gc.realloc(args[0], _signed(args[1])), 40
+
+
+def _bi_free(vm: VM, args):
+    return 0, 2  # the collector reclaims; free is a no-op
+
+
+def _bi_gc_collect(vm: VM, args):
+    vm.gc.collect()
+    return 0, 200
+
+
+def _bi_same_obj(vm: VM, args):
+    return vm.gc.same_obj(args[0], args[1]), vm.model.builtin_check_cycles
+
+
+def _bi_pre_incr(vm: VM, args):
+    return (vm.gc.pre_incr(args[0], _signed(args[1])),
+            vm.model.builtin_check_cycles + 2 * vm.model.load_cycles)
+
+
+def _bi_post_incr(vm: VM, args):
+    return (vm.gc.post_incr(args[0], _signed(args[1])),
+            vm.model.builtin_check_cycles + 2 * vm.model.load_cycles)
+
+
+def _bi_gc_base(vm: VM, args):
+    return vm.gc.base(args[0]) or 0, vm.model.builtin_check_cycles
+
+
+def _bi_gc_check_base(vm: VM, args):
+    return vm.gc.check_base(args[0]), vm.model.builtin_check_cycles
+
+
+def _bi_keep_live_identity(vm: VM, args):
+    """The naive KEEP_LIVE: returns its first argument.  Being a real
+    call, its cost is the call overhead itself (already charged by the
+    call instruction) plus a couple of cycles."""
+    return args[0], 2
+
+
+def _bi_putchar(vm: VM, args):
+    vm._emit_out(chr(args[0] & 0xFF))
+    return args[0], 10
+
+
+def _bi_puts(vm: VM, args):
+    s = vm.memory.read_cstring(args[0])
+    vm._emit_out(s + "\n")
+    return 0, 10 + len(s)
+
+
+def _bi_getchar(vm: VM, args):
+    return vm._getchar(), 10
+
+
+def _bi_printf(vm: VM, args):
+    fmt = vm.memory.read_cstring(args[0])
+    rendered = _format(vm, fmt, args, 1)
+    vm._emit_out(rendered)
+    return len(rendered), 20 + 2 * len(rendered)
+
+
+def _bi_strlen(vm: VM, args):
+    s = vm.memory.read_cstring(args[0])
+    return len(s), 4 + 2 * len(s)
+
+
+def _bi_strcpy(vm: VM, args):
+    s = vm.memory.read_cstring(args[1])
+    vm.memory.write_bytes(args[0], s.encode("latin-1") + b"\0")
+    return args[0], 4 + 3 * len(s)
+
+
+def _bi_strcmp(vm: VM, args):
+    a = vm.memory.read_cstring(args[0])
+    b = vm.memory.read_cstring(args[1])
+    result = 0 if a == b else (-1 if a < b else 1)
+    return result & _MASK, 4 + 2 * min(len(a), len(b))
+
+
+def _bi_strncmp(vm: VM, args):
+    n = _signed(args[2])
+    a = vm.memory.read_cstring(args[0])[:n]
+    b = vm.memory.read_cstring(args[1])[:n]
+    result = 0 if a == b else (-1 if a < b else 1)
+    return result & _MASK, 4 + 2 * min(len(a), len(b))
+
+
+def _bi_strcat(vm: VM, args):
+    a = vm.memory.read_cstring(args[0])
+    b = vm.memory.read_cstring(args[1])
+    vm.memory.write_bytes(args[0] + len(a), b.encode("latin-1") + b"\0")
+    return args[0], 4 + 3 * len(b)
+
+
+def _bi_strchr(vm: VM, args):
+    s = vm.memory.read_cstring(args[0])
+    ch = chr(args[1] & 0xFF)
+    pos = s.find(ch)
+    return (0 if pos < 0 else args[0] + pos), 4 + 2 * (pos if pos >= 0 else len(s))
+
+
+def _bi_memcpy(vm: VM, args):
+    n = _signed(args[2])
+    data = vm.memory.read_bytes(args[1], n)
+    vm.memory.write_bytes(args[0], data)
+    return args[0], 4 + n
+
+
+def _bi_memset(vm: VM, args):
+    n = _signed(args[2])
+    vm.memory.fill(args[0], n, args[1] & 0xFF)
+    return args[0], 4 + n
+
+
+def _bi_abs(vm: VM, args):
+    return abs(_signed(args[0])) & _MASK, 2
+
+
+def _bi_atoi(vm: VM, args):
+    s = vm.memory.read_cstring(args[0]).strip()
+    sign = 1
+    if s[:1] in "+-":
+        sign = -1 if s[0] == "-" else 1
+        s = s[1:]
+    digits = ""
+    for ch in s:
+        if not ch.isdigit():
+            break
+        digits += ch
+    return (sign * int(digits or "0")) & _MASK, 10 + 2 * len(digits)
+
+
+def _bi_exit(vm: VM, args):
+    raise ExitProgram(_signed(args[0]))
+
+
+def _bi_abort(vm: VM, args):
+    raise VMError("abort() called")
+
+
+def _bi_rand(vm: VM, args):
+    vm._rand_state = (vm._rand_state * 1103515245 + 12345) & _MASK
+    return (vm._rand_state >> 16) & 0x7FFF, 8
+
+
+def _bi_srand(vm: VM, args):
+    vm._rand_state = args[0] or 1
+    return 0, 2
+
+
+def _format(vm: VM, fmt: str, args, argi: int) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(fmt):
+        ch = fmt[i]
+        if ch != "%":
+            out.append(ch)
+            i += 1
+            continue
+        i += 1
+        width = ""
+        while i < len(fmt) and (fmt[i].isdigit() or fmt[i] == "-"):
+            width += fmt[i]
+            i += 1
+        spec = fmt[i] if i < len(fmt) else "%"
+        i += 1
+        if argi >= len(args):
+            argi = len(args) - 1
+        if spec == "d":
+            text = str(_signed(args[argi])); argi += 1
+        elif spec == "u":
+            text = str(args[argi] & _MASK); argi += 1
+        elif spec == "x":
+            text = format(args[argi] & _MASK, "x"); argi += 1
+        elif spec == "c":
+            text = chr(args[argi] & 0xFF); argi += 1
+        elif spec == "s":
+            text = vm.memory.read_cstring(args[argi]); argi += 1
+        elif spec == "%":
+            text = "%"
+        else:
+            text = "%" + spec
+        if width:
+            try:
+                w = int(width)
+                text = text.ljust(-w) if w < 0 else text.rjust(w)
+            except ValueError:
+                pass
+        out.append(text)
+    return "".join(out)
+
+
+def _bi_sprintf(vm: VM, args):
+    fmt = vm.memory.read_cstring(args[1])
+    rendered = _format(vm, fmt, args, 2)
+    vm.memory.write_bytes(args[0], rendered.encode("latin-1") + b"\0")
+    return len(rendered), 20 + 2 * len(rendered)
+
+
+def _bi_strncpy(vm: VM, args):
+    n = _signed(args[2])
+    s = vm.memory.read_cstring(args[1])[:n]
+    data = s.encode("latin-1")
+    data = data + b"\0" * (n - len(data))
+    vm.memory.write_bytes(args[0], data)
+    return args[0], 4 + 3 * n
+
+
+def _bi_strstr(vm: VM, args):
+    hay = vm.memory.read_cstring(args[0])
+    needle = vm.memory.read_cstring(args[1])
+    pos = hay.find(needle)
+    return (0 if pos < 0 else args[0] + pos), 6 + 2 * len(hay)
+
+
+def _ctype_builtin(predicate):
+    def bi(vm: VM, args):
+        c = args[0] & 0xFF
+        return int(predicate(chr(c))), 4
+    return bi
+
+
+def _bi_toupper(vm: VM, args):
+    return ord(chr(args[0] & 0xFF).upper()), 4
+
+
+def _bi_tolower(vm: VM, args):
+    return ord(chr(args[0] & 0xFF).lower()), 4
+
+
+def _bi_assert_fail(vm: VM, args):
+    msg = vm.memory.read_cstring(args[0]) if args[0] else "?"
+    raise VMError(f"assertion failed: {msg}")
+
+
+BUILTINS = {
+    "GC_malloc": _bi_gc_malloc,
+    "GC_malloc_atomic": _bi_gc_malloc_atomic,
+    "GC_realloc": _bi_realloc,
+    "GC_free": _bi_free,
+    "GC_collect": _bi_gc_collect,
+    "GC_gcollect": _bi_gc_collect,
+    "GC_same_obj": _bi_same_obj,
+    "GC_pre_incr": _bi_pre_incr,
+    "GC_post_incr": _bi_post_incr,
+    "GC_base": _bi_gc_base,
+    "GC_check_base": _bi_gc_check_base,
+    "KEEP_LIVE": _bi_keep_live_identity,
+    "malloc": _bi_gc_malloc,
+    "calloc": _bi_calloc,
+    "realloc": _bi_realloc,
+    "free": _bi_free,
+    "putchar": _bi_putchar,
+    "puts": _bi_puts,
+    "getchar": _bi_getchar,
+    "printf": _bi_printf,
+    "strlen": _bi_strlen,
+    "strcpy": _bi_strcpy,
+    "strcmp": _bi_strcmp,
+    "strncmp": _bi_strncmp,
+    "strcat": _bi_strcat,
+    "strchr": _bi_strchr,
+    "memcpy": _bi_memcpy,
+    "memmove": _bi_memcpy,
+    "memset": _bi_memset,
+    "abs": _bi_abs,
+    "atoi": _bi_atoi,
+    "sprintf": _bi_sprintf,
+    "strncpy": _bi_strncpy,
+    "strstr": _bi_strstr,
+    "isdigit": _ctype_builtin(str.isdigit),
+    "isalpha": _ctype_builtin(str.isalpha),
+    "isalnum": _ctype_builtin(str.isalnum),
+    "isspace": _ctype_builtin(str.isspace),
+    "isupper": _ctype_builtin(str.isupper),
+    "islower": _ctype_builtin(str.islower),
+    "toupper": _bi_toupper,
+    "tolower": _bi_tolower,
+    "exit": _bi_exit,
+    "abort": _bi_abort,
+    "rand": _bi_rand,
+    "srand": _bi_srand,
+    "__assert_fail": _bi_assert_fail,
+}

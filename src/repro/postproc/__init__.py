@@ -1,0 +1,8 @@
+"""Peephole postprocessor: recovers most KEEP_LIVE overhead on the
+generated machine code (paper, "A Postprocessor")."""
+
+from .liveness import Liveness, basic_blocks
+from .peephole import PeepholeStats, postprocess, postprocess_function
+
+__all__ = ["Liveness", "basic_blocks", "PeepholeStats", "postprocess",
+           "postprocess_function"]

@@ -1,0 +1,78 @@
+"""Benchmark workloads — scaled-down counterparts of the paper's
+cordtest / cfrac / gawk / gs programs, written in the supported C
+subset.  Each is "very pointer and allocation intensive" like the
+originals, and runs deterministically (fixed inputs, checksummed
+output) so every compiler configuration can be verified to compute the
+same answer.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def _miniawk_input() -> str:
+    """Deterministic multi-column text input for miniawk (the paper ran
+    gawk "with the second largest input supplied by Zorn")."""
+    words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]
+    lines = []
+    for i in range(80):
+        cols = [words[(i * 3 + j) % 8] for j in range(5)]
+        cols.append(str(i % 10))
+        cols.append(str(i))
+        lines.append(" ".join(cols))
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    name: str
+    filename: str
+    description: str
+    stdin: str = ""
+
+
+WORKLOADS: dict[str, WorkloadSpec] = {
+    "cordtest": WorkloadSpec(
+        "cordtest", "cordtest.c",
+        "cord (rope) string package test [paper: 2100-line cordtest]"),
+    "cfrac": WorkloadSpec(
+        "cfrac", "cfrac.c",
+        "bignum factoring [paper: 6000-line cfrac, Zorn suite]"),
+    "miniawk": WorkloadSpec(
+        "miniawk", "miniawk.c",
+        "field/record text processor [paper: 8500-line gawk 2.11]",
+        stdin=_miniawk_input()),
+    "minips": WorkloadSpec(
+        "minips", "minips.c",
+        "stack-machine page interpreter [paper: 29500-line Ghostscript]"),
+}
+
+# Auxiliary workloads: not part of the paper's tables, used by the test
+# suite and examples (gcbench is Boehm's classic collector benchmark).
+AUX_WORKLOADS: dict[str, WorkloadSpec] = {
+    "gcbench": WorkloadSpec(
+        "gcbench", "gcbench.c",
+        "Ellis/Kovac/Boehm GCBench: binary-tree allocation churn"),
+}
+
+WORKLOAD_NAMES = tuple(WORKLOADS)
+
+
+def workload_path(name: str) -> str:
+    spec = WORKLOADS.get(name) or AUX_WORKLOADS[name]
+    return os.path.join(_HERE, spec.filename)
+
+
+def load_workload(name: str, defines: dict | None = None) -> str:
+    """Return the workload's C source, with optional extra #defines
+    prepended (e.g. ``{"GAWK_BUG": "1"}`` to seed the gawk bug)."""
+    with open(workload_path(name)) as fh:
+        source = fh.read()
+    if defines:
+        prelude = "".join(f"#define {k} {v}\n" for k, v in defines.items())
+        source = prelude + source
+    return source

@@ -1,0 +1,286 @@
+/* cfrac -- integer factoring with heap-allocated multi-precision
+ * numbers, standing in for the cfrac member of Zorn's benchmark suite
+ * ("A factoring program ... very pointer and allocation intensive").
+ *
+ * Numbers are little-endian digit vectors (base 10000) allocated from
+ * the collected heap; every arithmetic operation allocates a fresh
+ * result, as the original cfrac's bignum package does.  Factoring uses
+ * trial division followed by Pollard's rho with a squared-continued
+ * fraction flavored iteration, all in bignum arithmetic.
+ */
+
+#define BASE 10000
+
+struct big {
+    int n;          /* number of digits in use */
+    short *d;       /* digit vector, little-endian, base 10000 */
+};
+typedef struct big big;
+
+int big_allocs = 0;
+
+big *big_new(int n)
+{
+    big *b = (big *) GC_malloc(sizeof(big));
+    b->d = (short *) GC_malloc(n * sizeof(short));
+    b->n = n;
+    big_allocs++;
+    return b;
+}
+
+big *big_from_int(int v)
+{
+    big *b = big_new(4);
+    int i;
+    for (i = 0; i < 4; i++) {
+        b->d[i] = v % BASE;
+        v = v / BASE;
+    }
+    while (b->n > 1 && b->d[b->n - 1] == 0) b->n--;
+    return b;
+}
+
+int big_to_int(big *a)
+{
+    int v = 0;
+    int i;
+    for (i = a->n - 1; i >= 0; i--) v = v * BASE + a->d[i];
+    return v;
+}
+
+int big_is_zero(big *a)
+{
+    return a->n == 1 && a->d[0] == 0;
+}
+
+int big_cmp(big *a, big *b)
+{
+    int i;
+    if (a->n != b->n) return a->n < b->n ? -1 : 1;
+    for (i = a->n - 1; i >= 0; i--) {
+        if (a->d[i] != b->d[i]) return a->d[i] < b->d[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+big *big_add(big *a, big *b)
+{
+    int n = (a->n > b->n ? a->n : b->n) + 1;
+    big *c = big_new(n);
+    int carry = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        int s = carry;
+        if (i < a->n) s += a->d[i];
+        if (i < b->n) s += b->d[i];
+        c->d[i] = s % BASE;
+        carry = s / BASE;
+    }
+    while (c->n > 1 && c->d[c->n - 1] == 0) c->n--;
+    return c;
+}
+
+/* a - b, assuming a >= b */
+big *big_sub(big *a, big *b)
+{
+    big *c = big_new(a->n);
+    int borrow = 0;
+    int i;
+    for (i = 0; i < a->n; i++) {
+        int s = a->d[i] - borrow;
+        if (i < b->n) s -= b->d[i];
+        if (s < 0) { s += BASE; borrow = 1; } else borrow = 0;
+        c->d[i] = s;
+    }
+    while (c->n > 1 && c->d[c->n - 1] == 0) c->n--;
+    return c;
+}
+
+big *big_mul_small(big *a, int m)
+{
+    big *c = big_new(a->n + 4);
+    int carry = 0;
+    int i;
+    for (i = 0; i < a->n; i++) {
+        int s = a->d[i] * m + carry;
+        c->d[i] = s % BASE;
+        carry = s / BASE;
+    }
+    i = a->n;
+    while (carry) {
+        c->d[i] = carry % BASE;
+        carry = carry / BASE;
+        i++;
+    }
+    c->n = i > a->n ? i : a->n;
+    while (c->n > 1 && c->d[c->n - 1] == 0) c->n--;
+    return c;
+}
+
+big *big_mul(big *a, big *b)
+{
+    big *c = big_new(a->n + b->n + 1);
+    int i, j;
+    for (i = 0; i < c->n; i++) c->d[i] = 0;
+    for (i = 0; i < a->n; i++) {
+        int carry = 0;
+        int ai = a->d[i];
+        if (ai == 0) continue;
+        for (j = 0; j < b->n; j++) {
+            int s = c->d[i + j] + ai * b->d[j] + carry;
+            c->d[i + j] = s % BASE;
+            carry = s / BASE;
+        }
+        while (carry) {
+            int s = c->d[i + j] + carry;
+            c->d[i + j] = s % BASE;
+            carry = s / BASE;
+            j++;
+        }
+    }
+    while (c->n > 1 && c->d[c->n - 1] == 0) c->n--;
+    return c;
+}
+
+/* divide by a small int, return quotient; *rem gets the remainder */
+big *big_div_small(big *a, int m, int *rem)
+{
+    big *c = big_new(a->n);
+    int r = 0;
+    int i;
+    for (i = a->n - 1; i >= 0; i--) {
+        int cur = r * BASE + a->d[i];
+        c->d[i] = cur / m;
+        r = cur % m;
+    }
+    while (c->n > 1 && c->d[c->n - 1] == 0) c->n--;
+    *rem = r;
+    return c;
+}
+
+big *big_mod(big *a, big *m)
+{
+    /* Repeated shifted subtraction (schoolbook); adequate for the
+     * small moduli the driver uses, and very allocation intensive. */
+    big *r = a;
+    while (big_cmp(r, m) >= 0) {
+        big *shifted = m;
+        big *next;
+        while (1) {
+            next = big_mul_small(shifted, 2);
+            if (big_cmp(next, r) > 0) break;
+            shifted = next;
+        }
+        r = big_sub(r, shifted);
+    }
+    return r;
+}
+
+big *big_gcd(big *a, big *b)
+{
+    while (!big_is_zero(b)) {
+        big *r = big_mod(a, b);
+        a = b;
+        b = r;
+    }
+    return a;
+}
+
+char *big_to_string(big *a)
+{
+    char *s = (char *) GC_malloc(a->n * 4 + 2);
+    int pos = 0;
+    int i;
+    int lead = 1;
+    for (i = a->n - 1; i >= 0; i--) {
+        int v = a->d[i];
+        int div = 1000;
+        while (div > 0) {
+            int digit = (v / div) % 10;
+            if (digit != 0 || !lead || (i == 0 && div == 1)) {
+                s[pos++] = '0' + digit;
+                lead = 0;
+            }
+            div = div / 10;
+        }
+    }
+    s[pos] = 0;
+    return s;
+}
+
+/* Trial division for small factors; returns the factor or 0. */
+int trial_factor(big *n, int limit)
+{
+    int p;
+    for (p = 2; p <= limit; p++) {
+        int rem;
+        big_div_small(n, p, &rem);
+        if (rem == 0) return p;
+    }
+    return 0;
+}
+
+/* Pollard rho step: x = (x*x + c) mod n, in bignums. */
+big *rho_step(big *x, big *n, int c)
+{
+    big *sq = big_mul(x, x);
+    big *plus = big_add(sq, big_from_int(c));
+    return big_mod(plus, n);
+}
+
+int pollard_rho(big *n, int c, int max_iter)
+{
+    big *x = big_from_int(2);
+    big *y = big_from_int(2);
+    big *one = big_from_int(1);
+    int i;
+    for (i = 0; i < max_iter; i++) {
+        big *diff;
+        big *g;
+        x = rho_step(x, n, c);
+        y = rho_step(rho_step(y, n, c), n, c);
+        diff = big_cmp(x, y) >= 0 ? big_sub(x, y) : big_sub(y, x);
+        if (big_is_zero(diff)) return 0;
+        g = big_gcd(n, diff);
+        if (big_cmp(g, one) != 0 && big_cmp(g, n) != 0) {
+            return big_to_int(g);
+        }
+    }
+    return 0;
+}
+
+int factor_one(int value)
+{
+    big *n = big_from_int(value);
+    int f = trial_factor(n, 30);
+    if (f != 0) return f;
+    f = pollard_rho(n, 1, 40);
+    if (f == 0) f = pollard_rho(n, 3, 40);
+    return f;
+}
+
+int main(void)
+{
+    /* A mix of composites: products of two primes, squares, smooth. */
+    int inputs[10];
+    int i;
+    int check = 0;
+    inputs[0] = 91;        /* 7 * 13  */
+    inputs[1] = 8051;      /* 83 * 97 */
+    inputs[2] = 10403;     /* 101 * 103 */
+    inputs[3] = 121;       /* 11^2 */
+    inputs[4] = 31861;     /* 151 * 211 */
+    inputs[5] = 2021;      /* 43 * 47 */
+    inputs[6] = 49141;     /* 157 * 313 */
+    inputs[7] = 4087;      /* 61 * 67 */
+    inputs[8] = 9409;      /* 97^2 */
+    inputs[9] = 32761;     /* 181^2, needs rho */
+
+    for (i = 0; i < 10; i++) {
+        int f = factor_one(inputs[i]);
+        check = check * 7 + f % 1000;
+        printf("cfrac: %d has factor %d\n", inputs[i], f);
+    }
+    printf("cfrac: check=%d allocs=%d\n", check, big_allocs);
+    return check % 251;
+}

@@ -1,0 +1,296 @@
+/* cordtest -- exercise a cord (rope) string package, after the
+ * "cordtest" benchmark of the paper: "Iterations of the test normally
+ * distributed with our `cord' string package.  This was run with our
+ * garbage collector."
+ *
+ * Cords are immutable trees of string fragments: concatenation is O(1)
+ * allocation, substring shares structure, and flattening walks the
+ * tree.  Heavily pointer- and allocation-intensive, all in GC heap.
+ */
+
+#define FLAT_THRESHOLD 16
+
+struct cord {
+    int len;
+    int depth;
+    char *leaf;          /* non-null for leaf nodes */
+    struct cord *left;
+    struct cord *right;
+};
+typedef struct cord cord;
+
+int cord_alloc_count = 0;
+
+cord *cord_from_string(char *s)
+{
+    cord *c = (cord *) GC_malloc(sizeof(cord));
+    int n = strlen(s);
+    char *copy = (char *) GC_malloc(n + 1);
+    strcpy(copy, s);
+    c->len = n;
+    c->depth = 0;
+    c->leaf = copy;
+    c->left = 0;
+    c->right = 0;
+    cord_alloc_count++;
+    return c;
+}
+
+cord *cord_from_char(int ch)
+{
+    char buf[2];
+    buf[0] = ch;
+    buf[1] = 0;
+    return cord_from_string(buf);
+}
+
+int cord_len(cord *c)
+{
+    if (c == 0) return 0;
+    return c->len;
+}
+
+int cord_depth(cord *c)
+{
+    if (c == 0) return 0;
+    return c->depth;
+}
+
+cord *cord_cat(cord *a, cord *b)
+{
+    cord *c;
+    int da, db;
+    if (a == 0) return b;
+    if (b == 0) return a;
+    c = (cord *) GC_malloc(sizeof(cord));
+    c->len = a->len + b->len;
+    da = a->depth;
+    db = b->depth;
+    c->depth = 1 + (da > db ? da : db);
+    c->leaf = 0;
+    c->left = a;
+    c->right = b;
+    cord_alloc_count++;
+    return c;
+}
+
+int cord_index(cord *c, int i)
+{
+    while (c->leaf == 0) {
+        int ll = c->left->len;
+        if (i < ll) {
+            c = c->left;
+        } else {
+            i = i - ll;
+            c = c->right;
+        }
+    }
+    return c->leaf[i];
+}
+
+/* Flatten a cord into a fresh heap string. */
+static void cord_fill(cord *c, char *out, int pos)
+{
+    if (c == 0) return;
+    if (c->leaf != 0) {
+        char *p = c->leaf;
+        char *q = out + pos;
+        while (*p) *q++ = *p++;
+        return;
+    }
+    cord_fill(c->left, out, pos);
+    cord_fill(c->right, out, pos + c->left->len);
+}
+
+char *cord_to_string(cord *c)
+{
+    char *out = (char *) GC_malloc(cord_len(c) + 1);
+    cord_fill(c, out, 0);
+    out[cord_len(c)] = 0;
+    return out;
+}
+
+cord *cord_substr(cord *c, int start, int n)
+{
+    if (c == 0 || n <= 0) return 0;
+    if (start < 0) { n = n + start; start = 0; }
+    if (start >= c->len) return 0;
+    if (start + n > c->len) n = c->len - start;
+    if (c->leaf != 0) {
+        char *buf = (char *) GC_malloc(n + 1);
+        int i;
+        for (i = 0; i < n; i++) buf[i] = c->leaf[start + i];
+        buf[n] = 0;
+        {
+            cord *leaf = (cord *) GC_malloc(sizeof(cord));
+            leaf->len = n;
+            leaf->depth = 0;
+            leaf->leaf = buf;
+            leaf->left = 0;
+            leaf->right = 0;
+            cord_alloc_count++;
+            return leaf;
+        }
+    }
+    {
+        int ll = c->left->len;
+        if (start + n <= ll) return cord_substr(c->left, start, n);
+        if (start >= ll) return cord_substr(c->right, start - ll, n);
+        return cord_cat(cord_substr(c->left, start, ll - start),
+                        cord_substr(c->right, 0, start + n - ll));
+    }
+}
+
+int cord_cmp(cord *a, cord *b)
+{
+    int la = cord_len(a);
+    int lb = cord_len(b);
+    int n = la < lb ? la : lb;
+    int i;
+    for (i = 0; i < n; i++) {
+        int ca = cord_index(a, i);
+        int cb = cord_index(b, i);
+        if (ca != cb) return ca < cb ? -1 : 1;
+    }
+    if (la == lb) return 0;
+    return la < lb ? -1 : 1;
+}
+
+/* Iterator-style traversal: sum of characters (checksum). */
+static int cord_sum(cord *c)
+{
+    if (c == 0) return 0;
+    if (c->leaf != 0) {
+        int s = 0;
+        char *p;
+        for (p = c->leaf; *p; p++) s += *p;
+        return s;
+    }
+    return cord_sum(c->left) + cord_sum(c->right);
+}
+
+/* Reverse a cord (structural). */
+cord *cord_reverse(cord *c)
+{
+    if (c == 0) return 0;
+    if (c->leaf != 0) {
+        int n = c->len;
+        char *buf = (char *) GC_malloc(n + 1);
+        int i;
+        for (i = 0; i < n; i++) buf[i] = c->leaf[n - 1 - i];
+        buf[n] = 0;
+        return cord_from_string(buf);
+    }
+    return cord_cat(cord_reverse(c->right), cord_reverse(c->left));
+}
+
+/* Substring search: first position of needle in c, or -1. */
+int cord_find(cord *c, char *needle)
+{
+    int n = cord_len(c);
+    int m = strlen(needle);
+    int i, j;
+    if (m == 0) return 0;
+    for (i = 0; i + m <= n; i++) {
+        for (j = 0; j < m; j++) {
+            if (cord_index(c, i + j) != needle[j]) break;
+        }
+        if (j == m) return i;
+    }
+    return -1;
+}
+
+/* Insert cord b at position pos of cord a (structure sharing). */
+cord *cord_insert(cord *a, int pos, cord *b)
+{
+    return cord_cat(cord_cat(cord_substr(a, 0, pos), b),
+                    cord_substr(a, pos, cord_len(a) - pos));
+}
+
+/* Delete n characters starting at pos (structure sharing). */
+cord *cord_delete(cord *a, int pos, int n)
+{
+    return cord_cat(cord_substr(a, 0, pos),
+                    cord_substr(a, pos + n, cord_len(a) - pos - n));
+}
+
+/* Rebalance by flattening when too deep. */
+cord *cord_balance(cord *c)
+{
+    if (c == 0) return 0;
+    if (c->depth > FLAT_THRESHOLD) {
+        return cord_from_string(cord_to_string(c));
+    }
+    return c;
+}
+
+static int test_round(int round)
+{
+    cord *c = 0;
+    cord *words[8];
+    int i;
+    int check = 0;
+    words[0] = cord_from_string("the ");
+    words[1] = cord_from_string("quick ");
+    words[2] = cord_from_string("brown ");
+    words[3] = cord_from_string("fox ");
+    words[4] = cord_from_string("jumps ");
+    words[5] = cord_from_string("over ");
+    words[6] = cord_from_string("lazy ");
+    words[7] = cord_from_string("dogs ");
+
+    /* Build a biggish cord by repeated concatenation. */
+    for (i = 0; i < 60; i++) {
+        c = cord_cat(c, words[(i + round) % 8]);
+        c = cord_balance(c);
+    }
+    check += cord_len(c);
+    check += cord_sum(c) % 1000;
+    check += cord_index(c, cord_len(c) / 2);
+
+    /* Substrings share or copy structure. */
+    {
+        cord *mid = cord_substr(c, cord_len(c) / 4, cord_len(c) / 2);
+        cord *rev = cord_reverse(mid);
+        check += cord_len(mid) + cord_depth(rev) % 7;
+        check += cord_cmp(mid, rev) + 1;
+        check += cord_cmp(mid, mid) + cord_cmp(rev, rev);
+    }
+
+    /* Flatten and compare against character indexing. */
+    {
+        char *flat = cord_to_string(c);
+        int n = cord_len(c);
+        int step = n / 17 + 1;
+        for (i = 0; i < n; i += step) {
+            if (flat[i] != cord_index(c, i)) return -99999;
+        }
+        check += strlen(flat) % 100;
+    }
+
+    /* Search, insert, delete: edits share structure. */
+    {
+        cord *marker = cord_from_string("<MARK>");
+        cord *edited = cord_insert(c, cord_len(c) / 3, marker);
+        int at = cord_find(edited, "<MARK>");
+        if (at != cord_len(c) / 3) return -88888;
+        edited = cord_delete(edited, at, cord_len(marker));
+        if (cord_len(edited) != cord_len(c)) return -77777;
+        check += cord_cmp(edited, c) == 0 ? 13 : -1;
+        check += cord_find(c, "fox") >= 0 ? 7 : 0;
+        check += cord_find(c, "zebra") == -1 ? 3 : 0;
+    }
+    return check;
+}
+
+int main(void)
+{
+    int round;
+    int total = 0;
+    for (round = 0; round < 5; round++) {
+        total += test_round(round);
+    }
+    printf("cordtest: checksum=%d allocs=%d\n", total, cord_alloc_count);
+    if (total != 0) return total % 251;
+    return 0;
+}

@@ -1,0 +1,106 @@
+/* gcbench -- Boehm's classic artificial garbage collection benchmark
+ * (John Ellis & Pete Kovac's "GCBench", as distributed with the Boehm
+ * collector), scaled down.  Not part of the paper's tables; used by the
+ * test suite and examples to exercise the collector under a classic
+ * allocation pattern:
+ *
+ *   - build complete binary trees top-down and bottom-up,
+ *   - keep a long-lived tree and a long-lived array alive throughout,
+ *   - drop short-lived trees so collections have real work.
+ */
+
+struct tree_node {
+    struct tree_node *left;
+    struct tree_node *right;
+    int i;
+    int j;
+};
+typedef struct tree_node tree_node;
+
+#define MIN_DEPTH 2
+#define MAX_DEPTH 7
+#define LONG_LIVED_DEPTH 7
+#define ARRAY_WORDS 500
+
+int nodes_made = 0;
+
+tree_node *new_node(tree_node *l, tree_node *r)
+{
+    tree_node *n = (tree_node *) GC_malloc(sizeof(tree_node));
+    n->left = l;
+    n->right = r;
+    n->i = 0;
+    n->j = 0;
+    nodes_made++;
+    return n;
+}
+
+int tree_size(int depth)
+{
+    return (1 << (depth + 1)) - 1;
+}
+
+/* Build bottom-up: children first. */
+tree_node *make_tree(int depth)
+{
+    if (depth <= 0) return new_node(0, 0);
+    return new_node(make_tree(depth - 1), make_tree(depth - 1));
+}
+
+/* Build top-down: parents first (populates in place). */
+void populate(int depth, tree_node *node)
+{
+    if (depth <= 0) return;
+    node->left = new_node(0, 0);
+    node->right = new_node(0, 0);
+    populate(depth - 1, node->left);
+    populate(depth - 1, node->right);
+}
+
+int check_tree(tree_node *node)
+{
+    if (node == 0) return 0;
+    return 1 + check_tree(node->left) + check_tree(node->right);
+}
+
+void time_construction(int depth)
+{
+    int i;
+    int count = tree_size(MAX_DEPTH) / tree_size(depth);
+    if (count < 1) count = 1;
+    for (i = 0; i < count; i++) {
+        tree_node *top_down = new_node(0, 0);
+        tree_node *bottom_up;
+        populate(depth, top_down);
+        bottom_up = make_tree(depth);
+        if (check_tree(top_down) != tree_size(depth)) exit(1);
+        if (check_tree(bottom_up) != tree_size(depth)) exit(2);
+        /* both trees die here */
+    }
+}
+
+int main(void)
+{
+    tree_node *long_lived;
+    int *array;
+    int depth;
+    int i;
+
+    /* long-lived data that every collection must preserve */
+    long_lived = new_node(0, 0);
+    populate(LONG_LIVED_DEPTH, long_lived);
+    array = (int *) GC_malloc(ARRAY_WORDS * sizeof(int));
+    for (i = 0; i < ARRAY_WORDS; i++) array[i] = i * 3;
+
+    for (depth = MIN_DEPTH; depth <= MAX_DEPTH; depth = depth + 2) {
+        time_construction(depth);
+    }
+
+    if (check_tree(long_lived) != tree_size(LONG_LIVED_DEPTH)) return 3;
+    for (i = 0; i < ARRAY_WORDS; i++) {
+        if (array[i] != i * 3) return 4;
+    }
+    printf("gcbench: nodes=%d long_lived=%d\n",
+           nodes_made, check_tree(long_lived));
+    return 0;
+}

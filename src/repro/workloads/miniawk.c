@@ -1,0 +1,191 @@
+/* miniawk -- a field/record text processor standing in for gawk 2.11
+ * ("the GNU awk interpreter ... second smallest member of the Zorn
+ * benchmark suite").
+ *
+ * Reads records from stdin, splits them into fields, and runs a fixed
+ * program: count words, track per-word frequencies in a chained hash
+ * table, accumulate numeric columns, and report.  All strings and
+ * table nodes live in the collected heap.
+ *
+ * When compiled with -DGAWK_BUG the field splitter uses the
+ * "one-before-the-beginning" array idiom, the real gawk bug family the
+ * paper's checker caught immediately: "With checking enabled, it
+ * immediately and correctly detected a pointer arithmetic error which
+ * was also an array access error."
+ */
+
+#define HASH_SIZE 64
+
+struct word {
+    char *text;
+    int count;
+    struct word *next;
+};
+typedef struct word word;
+
+struct field_list {
+    char **fields;
+    int nfields;
+};
+typedef struct field_list field_list;
+
+word *table[HASH_SIZE];
+int total_words = 0;
+int total_lines = 0;
+int numeric_sum = 0;
+
+char *gc_strdup(char *s)
+{
+    char *copy = (char *) GC_malloc(strlen(s) + 1);
+    strcpy(copy, s);
+    return copy;
+}
+
+int hash_string(char *s)
+{
+    int h = 0;
+    while (*s) {
+        h = h * 31 + *s;
+        s++;
+    }
+    h = h % HASH_SIZE;
+    if (h < 0) h += HASH_SIZE;
+    return h;
+}
+
+word *lookup(char *text, int insert)
+{
+    int h = hash_string(text);
+    word *w;
+    for (w = table[h]; w != 0; w = w->next) {
+        if (strcmp(w->text, text) == 0) return w;
+    }
+    if (!insert) return 0;
+    w = (word *) GC_malloc(sizeof(word));
+    w->text = gc_strdup(text);
+    w->count = 0;
+    w->next = table[h];
+    table[h] = w;
+    return w;
+}
+
+/* Read one record (line) from stdin into a fresh heap buffer. */
+char *read_record(void)
+{
+    char buf[256];
+    int n = 0;
+    int c;
+    while (1) {
+        c = getchar();
+        if (c < 0 || c > 255) {       /* EOF */
+            if (n == 0) return 0;
+            break;
+        }
+        if (c == '\n') break;
+        if (n < 255) buf[n++] = c;
+    }
+    buf[n] = 0;
+    return gc_strdup(buf);
+}
+
+/* Split a record into fields on spaces/tabs; returns a field list. */
+field_list *split_fields(char *rec)
+{
+    field_list *fl = (field_list *) GC_malloc(sizeof(field_list));
+    char **fields = (char **) GC_malloc(32 * sizeof(char *));
+    int nf = 0;
+    char *p = rec;
+    while (*p) {
+        char *start;
+        int len;
+        while (*p == ' ' || *p == '\t') p++;
+        if (*p == 0) break;
+        start = p;
+        while (*p && *p != ' ' && *p != '\t') p++;
+        len = p - start;
+        if (nf < 32) {
+            char *f = (char *) GC_malloc(len + 1);
+            int i;
+#ifdef GAWK_BUG
+            /* The gawk bug family: treat the field as a 1-origin array
+             * by keeping a pointer one before its beginning.  Works by
+             * accident with malloc; dies in a garbage collected system
+             * (and the checker flags the arithmetic immediately). */
+            char *f1 = f - 1;
+            for (i = 1; i <= len; i++) f1[i] = start[i - 1];
+            f1[len + 1] = 0;
+#else
+            for (i = 0; i < len; i++) f[i] = start[i];
+            f[len] = 0;
+#endif
+            fields[nf++] = f;
+        }
+    }
+    fl->fields = fields;
+    fl->nfields = nf;
+    return fl;
+}
+
+int is_number(char *s)
+{
+    if (*s == '-' || *s == '+') s++;
+    if (*s == 0) return 0;
+    while (*s) {
+        if (*s < '0' || *s > '9') return 0;
+        s++;
+    }
+    return 1;
+}
+
+/* The "program": NF counting, word frequency, numeric accumulation. */
+void process_record(char *rec)
+{
+    field_list *fl = split_fields(rec);
+    int i;
+    total_lines++;
+    for (i = 0; i < fl->nfields; i++) {
+        char *f = fl->fields[i];
+        total_words++;
+        if (is_number(f)) {
+            numeric_sum += atoi(f);
+        } else {
+            word *w = lookup(f, 1);
+            w->count++;
+        }
+    }
+}
+
+/* Report: most frequent word and aggregate counters. */
+int report(void)
+{
+    int h;
+    word *best = 0;
+    int distinct = 0;
+    for (h = 0; h < HASH_SIZE; h++) {
+        word *w;
+        for (w = table[h]; w != 0; w = w->next) {
+            distinct++;
+            if (best == 0 || w->count > best->count
+                || (w->count == best->count && strcmp(w->text, best->text) < 0)) {
+                best = w;
+            }
+        }
+    }
+    printf("miniawk: lines=%d words=%d distinct=%d sum=%d\n",
+           total_lines, total_words, distinct, numeric_sum);
+    if (best != 0) {
+        printf("miniawk: top=%s (%d)\n", best->text, best->count);
+    }
+    return total_words + distinct + numeric_sum;
+}
+
+int main(void)
+{
+    char *rec;
+    int check;
+    while ((rec = read_record()) != 0) {
+        process_record(rec);
+    }
+    check = report();
+    return check % 251;
+}

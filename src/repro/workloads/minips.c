@@ -1,0 +1,373 @@
+/* minips -- a miniature PostScript-flavored stack interpreter standing
+ * in for Ghostscript ("gs: Ghostscript, as distributed with the Zorn
+ * benchmark suite ... The Ghostscript custom allocator was disabled"),
+ * i.e. every interpreter object comes from the collected heap.
+ *
+ * Supports: integers, operators (add sub mul div dup exch pop index
+ * roll), procedures in braces, def/load into a dictionary, if/repeat
+ * control, array building, and a "show" operator that renders into a
+ * raster of character cells (our stand-in for page rendering).  The
+ * driver runs an embedded program that draws filled boxes and text into
+ * the raster and checksums it.
+ */
+
+#define STACK_MAX 256
+#define T_INT 0
+#define T_PROC 1
+#define T_ARRAY 2
+#define T_NAME 3
+
+struct value;
+
+struct array_obj {
+    struct value *items;
+    int n;
+};
+
+struct value {
+    int tag;
+    int ival;           /* T_INT */
+    char *text;         /* T_PROC: program text; T_NAME: the name */
+    struct array_obj *arr;
+};
+typedef struct value value;
+
+struct dict_entry {
+    char *name;
+    value *val;
+    struct dict_entry *next;
+};
+typedef struct dict_entry dict_entry;
+
+value *op_stack[STACK_MAX];
+int sp = 0;
+dict_entry *dict = 0;
+
+int raster_w = 40;
+int raster_h = 16;
+char *raster = 0;
+
+value *make_int(int v)
+{
+    value *x = (value *) GC_malloc(sizeof(value));
+    x->tag = T_INT;
+    x->ival = v;
+    x->text = 0;
+    x->arr = 0;
+    return x;
+}
+
+value *make_proc(char *body, int len)
+{
+    value *x = (value *) GC_malloc(sizeof(value));
+    char *copy = (char *) GC_malloc(len + 1);
+    int i;
+    for (i = 0; i < len; i++) copy[i] = body[i];
+    copy[len] = 0;
+    x->tag = T_PROC;
+    x->ival = 0;
+    x->text = copy;
+    x->arr = 0;
+    return x;
+}
+
+value *make_name(char *name, int len)
+{
+    value *x = (value *) GC_malloc(sizeof(value));
+    char *copy = (char *) GC_malloc(len + 1);
+    int i;
+    for (i = 0; i < len; i++) copy[i] = name[i];
+    copy[len] = 0;
+    x->tag = T_NAME;
+    x->ival = 0;
+    x->text = copy;
+    x->arr = 0;
+    return x;
+}
+
+value *make_array(int n)
+{
+    value *x = (value *) GC_malloc(sizeof(value));
+    struct array_obj *arr = (struct array_obj *) GC_malloc(sizeof(struct array_obj));
+    int i;
+    arr->items = (struct value *) GC_malloc(n * sizeof(struct value));
+    arr->n = n;
+    for (i = 0; i < n; i++) {
+        arr->items[i].tag = T_INT;
+        arr->items[i].ival = 0;
+        arr->items[i].text = 0;
+        arr->items[i].arr = 0;
+    }
+    x->tag = T_ARRAY;
+    x->ival = 0;
+    x->text = 0;
+    x->arr = arr;
+    return x;
+}
+
+void push(value *v)
+{
+    if (sp >= STACK_MAX) { puts("minips: stack overflow"); exit(2); }
+    op_stack[sp++] = v;
+}
+
+value *pop_val(void)
+{
+    if (sp <= 0) { puts("minips: stack underflow"); exit(2); }
+    return op_stack[--sp];
+}
+
+int pop_int(void)
+{
+    value *v = pop_val();
+    if (v->tag != T_INT) { puts("minips: type error"); exit(2); }
+    return v->ival;
+}
+
+void dict_def(char *name, value *v)
+{
+    dict_entry *e = (dict_entry *) GC_malloc(sizeof(dict_entry));
+    char *copy = (char *) GC_malloc(strlen(name) + 1);
+    strcpy(copy, name);
+    e->name = copy;
+    e->val = v;
+    e->next = dict;
+    dict = e;
+}
+
+value *dict_load(char *name)
+{
+    dict_entry *e;
+    for (e = dict; e != 0; e = e->next) {
+        if (strcmp(e->name, name) == 0) return e->val;
+    }
+    return 0;
+}
+
+/* raster primitives: the "rendering" side of our gs stand-in */
+void raster_clear(void)
+{
+    int i;
+    raster = (char *) GC_malloc(raster_w * raster_h);
+    for (i = 0; i < raster_w * raster_h; i++) raster[i] = ' ';
+}
+
+void raster_box(int x, int y, int w, int h, int ch)
+{
+    int i, j;
+    for (j = y; j < y + h; j++) {
+        if (j < 0 || j >= raster_h) continue;
+        for (i = x; i < x + w; i++) {
+            if (i < 0 || i >= raster_w) continue;
+            raster[j * raster_w + i] = ch;
+        }
+    }
+}
+
+void raster_text(int x, int y, char *s)
+{
+    int i;
+    if (y < 0 || y >= raster_h) return;
+    for (i = 0; s[i]; i++) {
+        int cx = x + i;
+        if (cx < 0 || cx >= raster_w) continue;
+        raster[y * raster_w + cx] = s[i];
+    }
+}
+
+int raster_checksum(void)
+{
+    int sum = 0;
+    int i;
+    for (i = 0; i < raster_w * raster_h; i++) {
+        sum = sum * 17 + raster[i];
+        sum = sum % 1000003;
+    }
+    return sum;
+}
+
+void interp(char *prog);
+
+/* Execute one operator by name. */
+void exec_op(char *name)
+{
+    if (strcmp(name, "add") == 0) { int b = pop_int(); push(make_int(pop_int() + b)); }
+    else if (strcmp(name, "sub") == 0) { int b = pop_int(); push(make_int(pop_int() - b)); }
+    else if (strcmp(name, "mul") == 0) { int b = pop_int(); push(make_int(pop_int() * b)); }
+    else if (strcmp(name, "div") == 0) { int b = pop_int(); push(make_int(pop_int() / b)); }
+    else if (strcmp(name, "mod") == 0) { int b = pop_int(); push(make_int(pop_int() % b)); }
+    else if (strcmp(name, "dup") == 0) { value *v = pop_val(); push(v); push(v); }
+    else if (strcmp(name, "pop") == 0) { pop_val(); }
+    else if (strcmp(name, "exch") == 0) {
+        value *b = pop_val(); value *a = pop_val(); push(b); push(a);
+    }
+    else if (strcmp(name, "index") == 0) {
+        int n = pop_int();
+        if (n < 0 || n >= sp) { puts("minips: bad index"); exit(2); }
+        push(op_stack[sp - 1 - n]);
+    }
+    else if (strcmp(name, "eq") == 0) { int b = pop_int(); push(make_int(pop_int() == b)); }
+    else if (strcmp(name, "lt") == 0) { int b = pop_int(); push(make_int(pop_int() < b)); }
+    else if (strcmp(name, "gt") == 0) { int b = pop_int(); push(make_int(pop_int() > b)); }
+    else if (strcmp(name, "if") == 0) {
+        value *proc = pop_val();
+        int cond = pop_int();
+        if (cond) interp(proc->text);
+    }
+    else if (strcmp(name, "ifelse") == 0) {
+        value *pelse = pop_val();
+        value *pthen = pop_val();
+        int cond = pop_int();
+        interp(cond ? pthen->text : pelse->text);
+    }
+    else if (strcmp(name, "repeat") == 0) {
+        value *proc = pop_val();
+        int n = pop_int();
+        int i;
+        for (i = 0; i < n; i++) interp(proc->text);
+    }
+    else if (strcmp(name, "exec") == 0) {
+        value *proc = pop_val();
+        interp(proc->text);
+    }
+    else if (strcmp(name, "def") == 0) {
+        value *v = pop_val();
+        value *n = pop_val();
+        dict_def(n->text, v);
+    }
+    else if (strcmp(name, "newarray") == 0) {
+        int n = pop_int();
+        if (n < 0) { puts("minips: bad array size"); exit(2); }
+        push(make_array(n));
+    }
+    else if (strcmp(name, "length") == 0) {
+        value *a = pop_val();
+        if (a->tag != T_ARRAY) { puts("minips: length of non-array"); exit(2); }
+        push(make_int(a->arr->n));
+    }
+    else if (strcmp(name, "get") == 0) {
+        int i = pop_int();
+        value *a = pop_val();
+        if (a->tag != T_ARRAY || i < 0 || i >= a->arr->n) {
+            puts("minips: bad get"); exit(2);
+        }
+        push(make_int(a->arr->items[i].ival));
+    }
+    else if (strcmp(name, "put") == 0) {
+        int v = pop_int();
+        int i = pop_int();
+        value *a = pop_val();
+        if (a->tag != T_ARRAY || i < 0 || i >= a->arr->n) {
+            puts("minips: bad put"); exit(2);
+        }
+        a->arr->items[i].ival = v;
+        push(a);
+    }
+    else if (strcmp(name, "box") == 0) {
+        int ch = pop_int();
+        int h = pop_int();
+        int w = pop_int();
+        int y = pop_int();
+        int x = pop_int();
+        raster_box(x, y, w, h, ch);
+    }
+    else if (strcmp(name, "clear") == 0) { raster_clear(); }
+    else {
+        value *v = dict_load(name);
+        if (v == 0) { printf("minips: undefined name %s\n", name); exit(2); }
+        if (v->tag == T_PROC) interp(v->text);
+        else push(v);
+    }
+}
+
+/* The scanner/interpreter: whitespace-separated tokens. */
+void interp(char *prog)
+{
+    char *p = prog;
+    while (*p) {
+        while (*p == ' ' || *p == '\n' || *p == '\t') p++;
+        if (*p == 0) break;
+        if (*p == '{') {
+            /* scan matching brace */
+            char *start = p + 1;
+            int depth = 1;
+            p++;
+            while (*p && depth > 0) {
+                if (*p == '{') depth++;
+                if (*p == '}') depth--;
+                p++;
+            }
+            push(make_proc(start, p - start - 1));
+        } else if (*p == '/') {
+            char *start = p + 1;
+            p++;
+            while (*p && *p != ' ' && *p != '\n' && *p != '\t') p++;
+            push(make_name(start, p - start));
+        } else if ((*p >= '0' && *p <= '9') || (*p == '-' && p[1] >= '0' && p[1] <= '9')) {
+            int sign = 1;
+            int v = 0;
+            if (*p == '-') { sign = -1; p++; }
+            while (*p >= '0' && *p <= '9') {
+                v = v * 10 + (*p - '0');
+                p++;
+            }
+            push(make_int(sign * v));
+        } else {
+            char name[32];
+            int n = 0;
+            while (*p && *p != ' ' && *p != '\n' && *p != '\t' && n < 31) {
+                name[n++] = *p;
+                p++;
+            }
+            name[n] = 0;
+            exec_op(name);
+        }
+    }
+}
+
+char *PROGRAM =
+    "clear "
+    "/size 3 def "
+    "/row 0 def "
+    "/col 0 def "
+    "/cell { "
+    "  col size mul row size mul size size "
+    "  col row add 7 mod 65 add box "
+    "  /col col 1 add def "
+    "} def "
+    "/line { /col 0 def 8 { cell } repeat /row row 1 add def } def "
+    "/page { /row 0 def 4 { line } repeat } def "
+    "1 { page } repeat "
+    /* arithmetic churn and control flow */
+    "0 10 { 1 add } repeat "
+    "dup 9 gt { 100 add } { 200 add } ifelse "
+    "dup 2 mod 0 eq { 3 mul } if "
+    "pop "
+    "0 1 2 3 4 5 6 7 8 9 add add add add add add add add add pop "
+    /* array workout: build a table, square it in place, render a bar */
+    "/tbl 10 newarray def "
+    "/i 0 def "
+    "10 { tbl i i i mul put pop /i i 1 add def } repeat "
+    "/i 0 def "
+    "8 { "
+    "  i 2 mul 13 tbl i get 12 mod 1 add 1 35 box "
+    "  /i i 1 add def "
+    "} repeat "
+    "tbl length pop ";
+
+int main(void)
+{
+    int check;
+    int round;
+    int total = 0;
+    for (round = 0; round < 2; round++) {
+        sp = 0;
+        dict = 0;
+        raster_clear();
+        interp(PROGRAM);
+        check = raster_checksum();
+        total = (total * 31 + check) % 1000003;
+    }
+    printf("minips: checksum=%d\n", total);
+    return total % 251;
+}

@@ -1,0 +1,107 @@
+"""Property-based frontend round-trip testing.
+
+Hypothesis builds random (well-typed) expressions and statements from
+combinators; parse -> unparse -> parse must reach a fixpoint, and the
+re-parsed tree must typecheck.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront import parse, typecheck, unparse
+
+_INT_LEAVES = st.sampled_from(["i", "j", "42", "0", "'x'", "a[1]", "v.x", "sp->y"])
+_PTR_LEAVES = st.sampled_from(["p", "q", "a", "&i", '"str"', "sp->link"])
+
+_INT_BIN = st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^",
+                            "<<", ">>", "<", ">", "==", "!=", "&&", "||"])
+_INT_UN = st.sampled_from(["-", "~", "!"])
+
+
+@st.composite
+def int_expr(draw, depth=3):
+    if depth == 0:
+        return draw(_INT_LEAVES)
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return draw(_INT_LEAVES)
+    if kind == 1:
+        op = draw(_INT_BIN)
+        # Avoid random division by zero in later VM-based reuse.
+        left = draw(int_expr(depth - 1))
+        right = draw(int_expr(depth - 1)) if op not in ("/", "%") else "7"
+        return f"({left} {op} {right})"
+    if kind == 2:
+        return f"({draw(_INT_UN)}{draw(int_expr(depth - 1))})"
+    if kind == 3:
+        return (f"({draw(int_expr(depth - 1))} ? {draw(int_expr(depth - 1))}"
+                f" : {draw(int_expr(depth - 1))})")
+    return f"(sizeof({draw(_PTR_LEAVES)}))"
+
+
+@st.composite
+def statement(draw, depth=2):
+    kind = draw(st.integers(0, 5))
+    if kind == 0 or depth == 0:
+        return f"i = {draw(int_expr(2))};"
+    if kind == 1:
+        return (f"if ({draw(int_expr(1))}) {{ {draw(statement(depth - 1))} }} "
+                f"else {{ {draw(statement(depth - 1))} }}")
+    if kind == 2:
+        return (f"for (j = 0; j < 3; j++) {{ {draw(statement(depth - 1))} }}")
+    if kind == 3:
+        return f"while (j > 0) {{ j--; {draw(statement(depth - 1))} }}"
+    if kind == 4:
+        return f"a[{draw(int_expr(1))} % 4] = {draw(int_expr(1))};"
+    return f"p = q + ({draw(int_expr(1))} % 4);"
+
+
+def wrap(body):
+    return f"""
+struct s {{ int x; int y; struct s *link; }};
+int probe(char *p, char *q, struct s *sp)
+{{
+    int i = 0;
+    int j = 2;
+    int a[4];
+    struct s v;
+    v.x = 1;
+    a[0] = a[1] = a[2] = a[3] = 0;
+    {body}
+    return i + j + a[0];
+}}
+"""
+
+
+class TestExpressionRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(int_expr())
+    def test_expression_fixpoint(self, expr):
+        source = wrap(f"i = {expr};")
+        tu = parse(source)
+        typecheck(tu)
+        once = unparse(tu)
+        tu2 = parse(once)
+        typecheck(tu2)
+        assert unparse(tu2) == once
+
+    @settings(max_examples=60, deadline=None)
+    @given(statement())
+    def test_statement_fixpoint(self, stmt):
+        source = wrap(stmt)
+        tu = parse(source)
+        typecheck(tu)
+        once = unparse(tu)
+        tu2 = parse(once)
+        typecheck(tu2)
+        assert unparse(tu2) == once
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(statement(), min_size=1, max_size=5))
+    def test_annotation_of_random_programs_reparses(self, stmts):
+        from repro.core import annotate_source
+        from repro.cfront.cpp import preprocess
+        source = wrap("\n    ".join(stmts))
+        result = annotate_source(source)
+        expanded = preprocess("#define KEEP_LIVE(e, y) (e)\n" + result.text)
+        typecheck(parse(expanded))

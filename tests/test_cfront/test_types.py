@@ -1,0 +1,154 @@
+"""C type model tests: sizes, alignment, layout, decay, heap-pointer
+classification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cfront.ctypes import (
+    Array, CHAR, DOUBLE, FLOAT, Function, INT, IntType, LONG, Pointer, SHORT,
+    Struct, UINT, VOID, VOID_PTR, WORD_SIZE, may_hold_heap_pointer,
+)
+
+
+class TestScalarSizes:
+    def test_ilp32_sizes(self):
+        assert CHAR.size == 1
+        assert SHORT.size == 2
+        assert INT.size == 4
+        assert LONG.size == 4
+        assert Pointer(VOID).size == WORD_SIZE == 4
+
+    def test_float_sizes(self):
+        assert FLOAT.size == 4 and DOUBLE.size == 8
+
+    def test_alignment_matches_size_for_scalars(self):
+        for t in (CHAR, SHORT, INT, LONG):
+            assert t.align == t.size
+
+    def test_void_is_incomplete(self):
+        assert VOID.size == 0 and VOID.is_void
+
+    def test_signedness_str(self):
+        assert str(IntType("int", signed=False)) == "unsigned int"
+        assert str(INT) == "int"
+
+
+class TestArrays:
+    def test_size_is_element_times_length(self):
+        assert Array(INT, 10).size == 40
+
+    def test_incomplete_array(self):
+        assert Array(INT, None).size == 0
+
+    def test_alignment_follows_element(self):
+        assert Array(CHAR, 100).align == 1
+        assert Array(INT, 3).align == 4
+
+    def test_decay(self):
+        decayed = Array(INT, 5).decay()
+        assert isinstance(decayed, Pointer) and decayed.target == INT
+
+    def test_function_decay(self):
+        fn = Function(INT, (INT,))
+        assert isinstance(fn.decay(), Pointer)
+
+    def test_scalar_decay_is_identity(self):
+        assert INT.decay() is INT
+
+
+class TestStructLayout:
+    def make(self, *members):
+        s = Struct("test")
+        s.define(list(members))
+        return s
+
+    def test_packing_with_alignment_holes(self):
+        s = self.make(("a", CHAR), ("b", INT), ("c", CHAR))
+        assert s.field("a").offset == 0
+        assert s.field("b").offset == 4
+        assert s.field("c").offset == 8
+        assert s.size == 12
+
+    def test_no_holes_when_sorted(self):
+        s = self.make(("a", INT), ("b", SHORT), ("c", SHORT))
+        assert s.size == 8
+
+    def test_nested_struct_field(self):
+        inner = self.make(("x", INT), ("y", INT))
+        outer = Struct("outer")
+        outer.define([("hdr", CHAR), ("pt", inner)])
+        assert outer.field("pt").offset == 4
+        assert outer.size == 12
+
+    def test_union_layout(self):
+        u = Struct("u", is_union=True)
+        u.define([("i", INT), ("c", Array(CHAR, 7))])
+        assert u.field("i").offset == 0 and u.field("c").offset == 0
+        assert u.size == 8  # rounded up to int alignment
+
+    def test_struct_identity_is_nominal(self):
+        a = self.make(("x", INT))
+        b = self.make(("x", INT))
+        assert a != b and a == a
+
+    def test_unknown_field_is_none(self):
+        assert self.make(("x", INT)).field("nope") is None
+
+
+class TestHeapPointerClassification:
+    def test_pointer_may_hold(self):
+        assert may_hold_heap_pointer(VOID_PTR)
+
+    def test_int_may_not(self):
+        assert not may_hold_heap_pointer(INT)
+
+    def test_array_of_pointers(self):
+        assert may_hold_heap_pointer(Array(Pointer(CHAR), 4))
+
+    def test_struct_with_pointer_field(self):
+        s = Struct("s")
+        s.define([("n", INT), ("next", Pointer(VOID))])
+        assert may_hold_heap_pointer(s)
+
+    def test_struct_without_pointers(self):
+        s = Struct("s")
+        s.define([("a", INT), ("b", Array(CHAR, 8))])
+        assert not may_hold_heap_pointer(s)
+
+
+class TestCompatibility:
+    def test_arithmetic_compatible(self):
+        assert INT.compatible(CHAR) and CHAR.compatible(UINT)
+
+    def test_pointers_loosely_compatible(self):
+        assert Pointer(INT).compatible(VOID_PTR)
+
+    def test_pointer_int_not_compatible(self):
+        assert not Pointer(INT).compatible(INT)
+
+
+class TestProperties:
+    @given(st.lists(st.sampled_from([CHAR, SHORT, INT, Pointer(VOID)]),
+                    min_size=1, max_size=8))
+    def test_struct_fields_never_overlap(self, types):
+        s = Struct("p")
+        s.define([(f"f{i}", t) for i, t in enumerate(types)])
+        spans = sorted((f.offset, f.offset + f.ctype.size) for f in s.fields)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    @given(st.lists(st.sampled_from([CHAR, SHORT, INT, Pointer(VOID)]),
+                    min_size=1, max_size=8))
+    def test_struct_size_multiple_of_alignment(self, types):
+        s = Struct("p")
+        s.define([(f"f{i}", t) for i, t in enumerate(types)])
+        assert s.size % s.align == 0
+        assert s.size >= sum(t.size for t in types)
+
+    @given(st.lists(st.sampled_from([CHAR, SHORT, INT, Pointer(VOID)]),
+                    min_size=1, max_size=8))
+    def test_fields_are_aligned(self, types):
+        s = Struct("p")
+        s.define([(f"f{i}", t) for i, t in enumerate(types)])
+        for f in s.fields:
+            assert f.offset % f.ctype.align == 0

@@ -1,0 +1,185 @@
+"""KEEP_LIVE annotation tests: insertion points, the paper's
+optimizations (1)-(4), checked mode, and temporary introduction."""
+
+import pytest
+
+from repro.cfront import parse, typecheck
+from repro.cfront.cpp import preprocess
+from repro.core import AnnotateOptions, annotate_source
+
+
+def annotate(source, **opts):
+    mode = opts.pop("mode", "safe")
+    options = AnnotateOptions(mode=mode, **opts)
+    return annotate_source(source, mode=mode, options=options)
+
+
+def reparses(result):
+    """The annotated text must itself be valid C (modulo KEEP_LIVE)."""
+    expanded = preprocess("#define KEEP_LIVE(e, y) (e)\n" + result.text)
+    typecheck(parse(expanded))
+    return True
+
+
+class TestInsertionPoints:
+    def test_pointer_arith_on_assignment_rhs(self):
+        r = annotate("void f(char *p) { char *q; q = p + 1; }")
+        assert "KEEP_LIVE((p + 1), p)" in r.text
+        assert r.stats.keep_lives == 1
+
+    def test_return_value(self):
+        r = annotate("char *f(char *p) { return p + 4; }")
+        assert "KEEP_LIVE((p + 4), p)" in r.text
+
+    def test_function_argument(self):
+        r = annotate("void g(char *x);\nvoid f(char *p) { g(p + 2); }")
+        assert "KEEP_LIVE((p + 2), p)" in r.text
+
+    def test_dereference_argument(self):
+        r = annotate("char f(char *p) { return *(p + 3); }")
+        assert "KEEP_LIVE((p + 3), p)" in r.text
+
+    def test_index_load_wraps_address(self):
+        r = annotate("char f(char *p, int i) { return p[i - 1000]; }")
+        assert "KEEP_LIVE(&((p)[(i - 1000)]), p)" in r.text
+        assert r.text.count("*") >= 2  # the deref survives the splice
+
+    def test_store_through_member_chain(self):
+        r = annotate("struct s { int x; };\n"
+                     "void f(struct s *sp, int v) { sp->x = v; }")
+        assert "KEEP_LIVE(&((sp)->x), sp)" in r.text
+
+    def test_local_initializer(self):
+        r = annotate("void f(char *p) { char *q = p + 1; }")
+        assert "KEEP_LIVE" in r.text
+
+    def test_compound_pointer_assign(self):
+        r = annotate("void f(char *p, int n) { p += n; }")
+        assert "(p = KEEP_LIVE((p + n), p))" in r.text
+
+    def test_nonpointer_code_untouched(self):
+        src = "int f(int a, int b) { int c[4]; c[0] = a; return c[0] + b; }"
+        r = annotate(src)
+        assert r.stats.keep_lives == 0
+        assert r.text == src
+
+    def test_stack_array_indexing_untouched(self):
+        r = annotate("int f(int i) { int a[8]; a[i] = i; return a[i]; }")
+        assert r.stats.keep_lives == 0
+
+    def test_all_outputs_reparse(self):
+        for src in [
+            "char *f(char *p) { return p + 1; }",
+            "char f(char *p, int i) { return p[i]; }",
+            "struct s { struct s *n; };\nvoid f(struct s *x) { x->n->n = 0; }",
+            "void f(char *p) { char *q; q = p; q += 3; *q = 1; }",
+        ]:
+            assert reparses(annotate(src))
+
+
+class TestCopySuppression:
+    def test_plain_copy_not_wrapped(self):
+        r = annotate("void f(char *p) { char *q; q = p; }")
+        assert r.stats.keep_lives == 0
+        assert r.stats.suppressed_copies >= 1
+
+    def test_suppression_can_be_disabled(self):
+        r = annotate("void f(char *p) { char *q; q = p; }",
+                     suppress_copies=False)
+        assert "KEEP_LIVE(p, p)" in r.text
+
+    def test_load_result_not_wrapped(self):
+        r = annotate("char *f(char **pp) { return *pp; }")
+        assert r.stats.keep_lives == 0
+
+
+class TestIncDec:
+    def test_postfix_expansion_uses_temp(self):
+        r = annotate("char f(char *p) { return *p++; }")
+        assert "__gcs_tmp1" in r.text
+        assert "KEEP_LIVE((__gcs_tmp1 + 1), __gcs_tmp1)" in r.text
+
+    def test_prefix_expansion_in_place(self):
+        r = annotate("void f(char *p) { ++p; *p = 0; }")
+        assert "(p = KEEP_LIVE((p + 1), p))" in r.text
+
+    def test_statement_level_postfix_avoids_temp(self):
+        r = annotate("void f(char *p) { p++; }")
+        assert "__gcs_tmp" not in r.text
+        assert "KEEP_LIVE((p + 1), p)" in r.text
+
+    def test_int_incdec_untouched(self):
+        r = annotate("void f(int i) { i++; ++i; i--; }")
+        assert r.stats.keep_lives == 0
+
+    def test_temp_declarations_inserted(self):
+        r = annotate("char f(char *p) { return *p++; }")
+        assert "char *__gcs_tmp1;" in r.text
+
+    def test_canonical_string_copy_loop(self):
+        """The paper's canonical loop, with the base heuristic giving
+        the slowly-varying bases s and t."""
+        src = ("char *copy(char *s, char *t) { char *p, *q; p = s; q = t; "
+               "while (*p++ = *q++) ; return s; }")
+        r = annotate(src)
+        assert "KEEP_LIVE((__gcs_tmp1 + 1), s)" in r.text
+        assert "KEEP_LIVE((__gcs_tmp2 + 1), t)" in r.text
+        assert r.stats.heuristic_replacements == 2
+
+    def test_heuristic_disabled_uses_temp_base(self):
+        src = ("char *copy(char *s, char *t) { char *p, *q; p = s; q = t; "
+               "while (*p++ = *q++) ; return s; }")
+        r = annotate(src, base_heuristic=False)
+        assert "KEEP_LIVE((__gcs_tmp1 + 1), __gcs_tmp1)" in r.text
+
+
+class TestCheckedMode:
+    def test_arith_becomes_gc_same_obj(self):
+        r = annotate("char *f(char *p) { return p + 1; }", mode="checked")
+        assert "GC_same_obj((void *)((p + 1)), (void *)(p))" in r.text
+        assert "(char *)" in r.text
+
+    def test_postfix_becomes_gc_post_incr(self):
+        r = annotate("char f(char *p) { return *p++; }", mode="checked")
+        assert "GC_post_incr(&(p), 1)" in r.text
+
+    def test_prefix_becomes_gc_pre_incr(self):
+        r = annotate("void f(int *p) { ++p; *p = 0; }", mode="checked")
+        assert "GC_pre_incr(&(p), 4)" in r.text  # scaled by sizeof(int)
+
+    def test_decrement_uses_negative_amount(self):
+        r = annotate("void f(int *p) { p--; *p = 0; }", mode="checked")
+        assert "GC_post_incr(&(p), -4)" in r.text
+
+    def test_extern_prototypes_injected(self):
+        r = annotate("char *f(char *p) { return p + 1; }", mode="checked")
+        assert "extern void *GC_same_obj" in r.text
+
+    def test_checked_output_is_plain_ansi_c(self):
+        r = annotate("char f(char *p, int i) { return p[i]; }", mode="checked")
+        typecheck(parse(r.text))  # no KEEP_LIVE macro needed
+
+
+class TestCallSafePoints:
+    def test_statement_without_call_skipped(self):
+        src = ("void f(char *p, int i) { char c; c = p[i + 12345]; }")
+        full = annotate(src)
+        relaxed = annotate(src, call_safe_points=True)
+        assert full.stats.keep_lives == 1
+        assert relaxed.stats.keep_lives == 0
+        assert relaxed.stats.suppressed_no_call >= 1
+
+    def test_statement_with_call_still_annotated(self):
+        src = ("int g(void);\n"
+               "void f(char *p) { char c; c = p[g() + 999]; }")
+        relaxed = annotate(src, call_safe_points=True)
+        assert relaxed.stats.keep_lives >= 1
+
+
+class TestStats:
+    def test_counts_are_consistent(self):
+        src = ("char *f(char *p, char *q, int i) {"
+               " char *r; r = p + i; r = q; *r = p[i]; return r + 1; }")
+        r = annotate(src)
+        assert r.stats.keep_lives >= 3
+        assert r.stats.suppressed_copies >= 1

@@ -1,0 +1,167 @@
+"""BASE / BASEADDR tests — one per rule in the paper's table."""
+
+import pytest
+
+from repro.cfront import parse, typecheck
+from repro.cfront import cast as A
+from repro.core.base import base_of, baseaddr_of, is_generating, is_plain_copy
+
+DECLS = """
+struct s { int x; int arr[4]; struct s *next; };
+char *p; char *q; int i; int a[8]; char buf[16];
+struct s v; struct s *sp; char **pp;
+char *get(void);
+"""
+
+
+def expr_of(body):
+    source = f"{DECLS}\nvoid probe(void) {{ {body}; }}"
+    tu = parse(source)
+    typecheck(tu)
+    fn = [item for item in tu.items if isinstance(item, A.FuncDef)][-1]
+    return fn.body.items[0].expr
+
+
+def base_name(body):
+    base = base_of(expr_of(body))
+    return None if base is None else base.name
+
+
+def baseaddr_name(body):
+    # body is the operand; wrap in & to reach it through parsing, then unwrap
+    e = expr_of(f"&({body})")
+    assert isinstance(e, A.Unary) and e.op == "&"
+    base = baseaddr_of(e.operand)
+    return None if base is None else base.name
+
+
+class TestBaseRules:
+    def test_base_of_zero_is_nil(self):
+        assert base_name("0") is None
+
+    def test_base_of_heap_pointer_variable_is_itself(self):
+        assert base_name("p") == "p"
+
+    def test_base_of_array_variable_is_nil(self):
+        # An array denotes stack/static storage, never a heap pointer.
+        assert base_name("a") is None
+
+    def test_base_of_int_variable_is_nil(self):
+        assert base_name("i") is None
+
+    def test_assignment_to_pointer_var(self):
+        assert base_name("p = q + 1") == "p"
+
+    def test_assignment_through_deref_uses_rhs(self):
+        # BASE(x = e) = BASE(e) when x is not a pointer variable.
+        assert base_name("*pp = q") == "q"
+
+    def test_compound_plus_assign(self):
+        assert base_name("p += i") == "p"
+
+    def test_compound_minus_assign(self):
+        assert base_name("p -= 2") == "p"
+
+    def test_post_increment(self):
+        assert base_name("p++") == "p"
+
+    def test_pre_decrement(self):
+        assert base_name("--p") == "p"
+
+    def test_pointer_plus_int(self):
+        assert base_name("p + i") == "p"
+
+    def test_int_plus_pointer_picks_pointer_side(self):
+        assert base_name("i + p") == "p"
+
+    def test_pointer_minus_int(self):
+        assert base_name("p - 4") == "p"
+
+    def test_comma_takes_last(self):
+        assert base_name("(q, p)") == "p"
+
+    def test_nested_arithmetic(self):
+        assert base_name("(p + 1) + i") == "p"
+
+    def test_cast_is_transparent(self):
+        assert base_name("(char *)(p + 1)") == "p"
+
+    def test_int_to_pointer_cast_is_nil(self):
+        assert base_name("(char *)i") is None
+
+    def test_addr_of_defers_to_baseaddr(self):
+        assert base_name("&p[i]") == "p"
+
+    def test_call_is_generating(self):
+        assert base_name("get()") is None
+
+    def test_deref_is_generating(self):
+        assert base_name("*pp") is None
+
+    def test_conditional_is_generating(self):
+        assert base_name("i ? p : q") is None
+
+    def test_string_literal_is_nil(self):
+        assert base_name('"text"') is None
+
+
+class TestBaseAddrRules:
+    def test_variable_is_nil(self):
+        assert baseaddr_name("i") is None
+
+    def test_index_with_pointer_base(self):
+        assert baseaddr_name("p[i]") == "p"
+
+    def test_index_with_nil_base_uses_index(self):
+        # BASEADDR(e1[e2]) = BASE(e2) when BASE(e1) is NIL: i[p] spelling.
+        assert baseaddr_name("i[p]") == "p"
+
+    def test_index_of_stack_array_is_nil(self):
+        assert baseaddr_name("a[i]") is None
+
+    def test_arrow_member(self):
+        assert baseaddr_name("sp->x") == "sp"
+
+    def test_dot_member_recurses(self):
+        assert baseaddr_name("v.x") is None
+
+    def test_dot_through_deref(self):
+        assert baseaddr_name("(*sp).x") == "sp"
+
+    def test_nested_chain(self):
+        assert baseaddr_name("sp->next->x") is None  # inner deref generates
+
+    def test_index_of_arrow_array_field(self):
+        assert baseaddr_name("sp->arr[i]") is None  # &(sp->arr) decays, load
+
+
+class TestCopyDetection:
+    @pytest.mark.parametrize("body,expected", [
+        ("p", True),
+        ("*pp", True),
+        ("a[0]", True),
+        ("sp->next", True),
+        ("(char *)q", True),
+        ("(q, p)", True),
+        ("p + 1", False),
+        ("&p[i]", False),
+        ("(char *)(p + 1)", False),
+        ('"lit"', True),
+        ("0", True),
+    ])
+    def test_is_plain_copy(self, body, expected):
+        assert is_plain_copy(expr_of(body)) is expected
+
+
+class TestGenerating:
+    @pytest.mark.parametrize("body,expected", [
+        ("get()", True),
+        ("*pp", True),
+        ("i ? p : q", True),
+        ("a[0]", True),
+        ("sp->next", True),
+        ("p + 1", False),
+        ("p", False),
+    ])
+    def test_is_generating(self, body, expected):
+        assert is_generating(expr_of(body)) is expected

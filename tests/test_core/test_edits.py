@@ -1,0 +1,105 @@
+"""Edit-list tests: the paper's insertion/deletion machinery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import EditList
+from repro.core.edits import outermost
+from repro.cfront.errors import SourceSpan
+
+
+class _Rep:
+    def __init__(self, start, end):
+        self.span = SourceSpan(start, end)
+        self.node = None
+
+
+class TestEditList:
+    def test_insert(self):
+        edits = EditList()
+        edits.insert(5, "XY")
+        assert edits.apply("hello world") == "helloXY world"
+
+    def test_delete(self):
+        edits = EditList()
+        edits.delete(5, 11)
+        assert edits.apply("hello world") == "hello"
+
+    def test_replace(self):
+        edits = EditList()
+        edits.replace(0, 5, "goodbye")
+        assert edits.apply("hello world") == "goodbye world"
+
+    def test_multiple_edits_applied_in_order(self):
+        edits = EditList()
+        edits.replace(6, 11, "there")
+        edits.insert(0, ">> ")
+        assert edits.apply("hello world") == ">> hello there"
+
+    def test_insertion_at_end(self):
+        edits = EditList()
+        edits.insert(5, "!")
+        assert edits.apply("hello") == "hello!"
+
+    def test_overlapping_edits_rejected(self):
+        edits = EditList()
+        edits.replace(0, 5, "a")
+        edits.replace(3, 8, "b")
+        with pytest.raises(ValueError):
+            edits.apply("hello world")
+
+    def test_adjacent_edits_ok(self):
+        edits = EditList()
+        edits.replace(0, 3, "A")
+        edits.replace(3, 6, "B")
+        assert edits.apply("abcdef") == "AB"
+
+    def test_negative_range_rejected(self):
+        edits = EditList()
+        with pytest.raises(ValueError):
+            edits.replace(5, 2, "x")
+
+    def test_empty_edit_list_is_identity(self):
+        assert EditList().apply("unchanged") == "unchanged"
+
+    @given(st.text(min_size=1, max_size=40),
+           st.data())
+    def test_single_replace_property(self, text, data):
+        start = data.draw(st.integers(0, len(text)))
+        end = data.draw(st.integers(start, len(text)))
+        repl = data.draw(st.text(max_size=10))
+        edits = EditList()
+        edits.replace(start, end, repl)
+        out = edits.apply(text)
+        assert out == text[:start] + repl + text[end:]
+
+    @given(st.text(min_size=4, max_size=40), st.data())
+    def test_disjoint_edits_commute(self, text, data):
+        mid = len(text) // 2
+        r1 = data.draw(st.text(max_size=5))
+        r2 = data.draw(st.text(max_size=5))
+        a = EditList()
+        a.replace(0, 2, r1)
+        a.replace(mid + 1, mid + 2, r2)
+        b = EditList()
+        b.replace(mid + 1, mid + 2, r2)
+        b.replace(0, 2, r1)
+        assert a.apply(text) == b.apply(text)
+
+
+class TestOutermost:
+    def test_nested_replacement_dropped(self):
+        inner, outer = _Rep(5, 10), _Rep(0, 20)
+        assert outermost([inner, outer]) == [outer]
+
+    def test_disjoint_kept(self):
+        a, b = _Rep(0, 5), _Rep(10, 15)
+        assert set(map(id, outermost([a, b]))) == {id(a), id(b)}
+
+    def test_equal_spans_keep_later(self):
+        first, second = _Rep(3, 9), _Rep(3, 9)
+        assert outermost([first, second]) == [second]
+
+    def test_chain_of_nesting(self):
+        a, b, c = _Rep(2, 4), _Rep(1, 6), _Rep(0, 10)
+        assert outermost([a, b, c]) == [c]

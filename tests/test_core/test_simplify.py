@@ -1,0 +1,65 @@
+"""Tests for the *&e / &*e folding cleanup pass."""
+
+import pytest
+
+from repro.cfront import parse, typecheck, unparse
+from repro.cfront import cast as A
+from repro.core.simplify import simplify_unit
+
+
+def roundtrip(source):
+    tu = parse(source)
+    typecheck(tu)
+    simplify_unit(tu)
+    return unparse(tu)
+
+
+class TestSimplify:
+    def test_deref_of_addrof_folds(self):
+        out = roundtrip("int f(int x) { return *&x; }")
+        assert "*" not in out.split("{")[1]
+
+    def test_addrof_of_deref_folds(self):
+        out = roundtrip("int *f(int *p) { return &*p; }")
+        assert "&" not in out.split("{")[1]
+
+    def test_nested_folds(self):
+        out = roundtrip("int f(int x) { return *&*&x; }")
+        body = out.split("{")[1]
+        assert "*" not in body and "&" not in body
+
+    def test_plain_deref_untouched(self):
+        out = roundtrip("int f(int *p) { return *p; }")
+        assert "*(p)" in out or "*p" in out
+
+    def test_plain_addrof_untouched(self):
+        out = roundtrip("int *f(void) { int x; int *p = &x; return p; }")
+        assert "&" in out
+
+    def test_fold_inside_statements(self):
+        out = roundtrip("int f(int x) { if (*&x) return 1; "
+                        "while (*&x) x--; return *&x; }")
+        assert "*&" not in out.replace(" ", "")
+
+    def test_fold_inside_initializers(self):
+        out = roundtrip("int f(int x) { int y = *&x; return y; }")
+        assert "*&" not in out.replace(" ", "")
+
+    def test_keep_live_between_blocks_fold(self):
+        """*(KEEP_LIVE(&e, b)) must NOT fold: the barrier sits between."""
+        from repro.core import annotate_source
+        result = annotate_source("char f(char *p, int i) { return p[i - 50]; }")
+        text = unparse(result.unit)
+        assert "KEEP_LIVE" in text
+        assert "*(KEEP_LIVE" in text.replace(" ", "").replace("*(KEEP_LIVE", "*(KEEP_LIVE")
+
+    def test_annotator_output_has_no_bare_detours(self):
+        """Whatever the annotator normalized but did not wrap must be
+        folded back: no *&( left in the rendered result."""
+        from repro.core import annotate_source
+        src = ("struct s { int a[4]; int k; };\n"
+               "int f(struct s *p, int i) { int local[4]; local[i] = 1; "
+               "return local[i] + p->k; }")
+        result = annotate_source(src)
+        assert "*&" not in result.text.replace(" ", "").replace("*(&", "*&") \
+            or "KEEP_LIVE" in result.text

@@ -1,0 +1,106 @@
+"""Source-safety diagnostics tests (paper's "Source Checking")."""
+
+import pytest
+
+from repro.core import check_source
+
+
+def categories(source):
+    return [d.category for d in check_source(source)]
+
+
+class TestIntToPointer:
+    def test_direct_int_cast_warns(self):
+        src = "char *f(int cookie) { return (char *)cookie; }"
+        assert "int-to-pointer" in categories(src)
+
+    def test_small_constant_is_benign(self):
+        # "the common practice of converting very small integers to
+        # pointers that are never dereferenced"
+        src = "char *f(void) { return (char *)1; }"
+        assert categories(src) == []
+
+    def test_null_constant_is_benign(self):
+        assert categories("char *f(void) { return (char *)0; }") == []
+
+    def test_pointer_to_pointer_cast_is_fine(self):
+        src = "void *f(char *p) { return (void *)p; }"
+        assert categories(src) == []
+
+    def test_round_trip_through_int_warns_on_the_way_back(self):
+        src = ("char *f(char *p) { int v; v = (int)p; return (char *)v; }")
+        assert "int-to-pointer" in categories(src)
+
+    def test_arithmetic_disguise_warns(self):
+        src = ("char *f(char *p) { return (char *)((int)p + 4); }")
+        assert "int-to-pointer" in categories(src)
+
+
+class TestStructPointerCasts:
+    def test_unrelated_struct_cast_warns(self):
+        src = ("struct a { int x; char *s; };\n"
+               "struct b { char *s; int x; };\n"
+               "struct b *f(struct a *p) { return (struct b *)p; }")
+        assert "struct-pointer-cast" in categories(src)
+
+    def test_prefix_compatible_header_idiom_allowed(self):
+        src = ("struct hdr { int tag; };\n"
+               "struct obj { int tag; int data; };\n"
+               "struct hdr *f(struct obj *p) { return (struct hdr *)p; }")
+        assert categories(src) == []
+
+
+class TestHiddenPointerChannels:
+    def test_scanf_with_percent_p_warns(self):
+        src = 'void f(char **box) { scanf("%p", box); }'
+        assert "pointer-input" in categories(src)
+
+    def test_scanf_without_percent_p_is_fine(self):
+        src = 'void f(int *n) { scanf("%d", n); }'
+        assert categories(src) == []
+
+    def test_memcpy_into_pointer_holding_struct_warns(self):
+        src = ("struct s { char *p; };\n"
+               "void f(struct s *d, struct s *s2) "
+               "{ memcpy(d, s2, sizeof(struct s)); }")
+        assert "raw-pointer-copy" in categories(src)
+
+    def test_memcpy_of_plain_bytes_is_fine(self):
+        src = "void f(char *d, char *s) { memcpy(d, s, 10); }"
+        assert categories(src) == []
+
+    def test_fread_into_pointer_table_warns(self):
+        src = "void f(char **table) { fread(table, 4, 8, 0); }"
+        assert "raw-pointer-copy" in categories(src)
+
+
+class TestDiagnosticRendering:
+    def test_positions_point_into_source(self):
+        src = "char *f(int v) {\n    return (char *)v;\n}"
+        diags = check_source(src)
+        assert len(diags) == 1
+        assert "line 2" in diags[0].render(src)
+
+    def test_multiple_diagnostics_sorted_by_position(self):
+        src = ("char *f(int v, char **b) {\n"
+               '    scanf("%p", b);\n'
+               "    return (char *)v;\n}")
+        diags = check_source(src)
+        assert len(diags) == 2
+        assert diags[0].pos < diags[1].pos
+
+
+class TestDirectRoundTrip:
+    def test_direct_ptr_int_ptr_is_benign(self):
+        # "conversion of a pointer to an integer and back, without
+        # intervening arithmetic, is benign"
+        src = "char *f(char *p) { return (char *)(int)p; }"
+        assert categories(src) == []
+
+    def test_round_trip_through_variable_still_warns(self):
+        src = "char *f(char *p) { int v = (int)p; return (char *)v; }"
+        assert "int-to-pointer" in categories(src)
+
+    def test_round_trip_with_arithmetic_warns(self):
+        src = "char *f(char *p) { return (char *)((int)p + 1); }"
+        assert "int-to-pointer" in categories(src)

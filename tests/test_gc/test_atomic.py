@@ -1,0 +1,122 @@
+"""GC_malloc_atomic tests: pointer-free objects are never scanned."""
+
+import pytest
+
+from repro.gc import Collector
+from repro.machine import CompileConfig, VM, compile_source
+
+
+def collector_with_roots():
+    gc = Collector()
+    roots: list[int] = []
+    gc.add_root_provider(lambda: roots)
+    return gc, roots
+
+
+class TestAtomicObjects:
+    def test_atomic_allocation_basic(self):
+        gc, roots = collector_with_roots()
+        addr = gc.malloc_atomic(100)
+        roots.append(addr)
+        gc.collect()
+        assert gc.base(addr) == addr
+
+    def test_atomic_contents_not_traced(self):
+        """A pointer stored inside an atomic object does NOT keep its
+        target alive — the defining property of GC_malloc_atomic."""
+        gc, roots = collector_with_roots()
+        box = gc.malloc_atomic(16)
+        target = gc.malloc(16)
+        gc.memory.store_word(box, target)
+        roots.append(box)
+        gc.collect()
+        assert gc.base(box) == box          # the box survives
+        assert gc.base(target) is None      # the target does not
+
+    def test_normal_contents_are_traced(self):
+        gc, roots = collector_with_roots()
+        box = gc.malloc(16)
+        target = gc.malloc(16)
+        gc.memory.store_word(box, target)
+        roots.append(box)
+        gc.collect()
+        assert gc.base(target) == target
+
+    def test_atomic_and_normal_pages_are_separate(self):
+        gc, _ = collector_with_roots()
+        a = gc.malloc(24)
+        b = gc.malloc_atomic(24)
+        da = gc.heap.descriptor_for(a)
+        db = gc.heap.descriptor_for(b)
+        assert da is not db
+        assert not da.atomic and db.atomic
+
+    def test_atomic_freed_slots_stay_atomic(self):
+        gc, roots = collector_with_roots()
+        addr = gc.malloc_atomic(24)
+        gc.collect()  # unrooted: reclaimed
+        again = gc.malloc_atomic(24)
+        assert gc.heap.descriptor_for(again).atomic
+
+    def test_large_atomic_object(self):
+        gc, roots = collector_with_roots()
+        big = gc.malloc_atomic(20_000)
+        victim = gc.malloc(8)
+        gc.memory.store_word(big + 96, victim)
+        roots.append(big)
+        gc.collect()
+        assert gc.base(big) == big
+        assert gc.base(victim) is None
+
+    def test_false_retention_scenario(self):
+        """The motivation: string data that happens to look like heap
+        addresses retains garbage when scanned, but not when atomic."""
+        gc, roots = collector_with_roots()
+        victim = gc.malloc(8)
+        victim_addr = victim
+        # A conservative scan of this buffer would see victim's address.
+        scanned = gc.malloc(16)
+        atomic = gc.malloc_atomic(16)
+        gc.memory.store_word(scanned + 4, victim_addr)
+        gc.memory.store_word(atomic + 4, victim_addr)
+        roots.append(scanned)
+        roots.append(atomic)
+        gc.collect()
+        assert gc.base(victim) == victim  # retained via the scanned buffer
+        roots.remove(scanned)
+        gc.collect()
+        assert gc.base(victim) is None  # atomic copy does not retain
+
+
+class TestAtomicFromC:
+    def test_builtin_available(self):
+        src = """
+        int main(void) {
+            char *s = (char *)GC_malloc_atomic(32);
+            int i;
+            for (i = 0; i < 31; i++) s[i] = 'x';
+            s[31] = 0;
+            return strlen(s);
+        }
+        """
+        compiled = compile_source(src, CompileConfig())
+        assert VM(compiled.asm).run().exit_code == 31
+
+    def test_atomic_string_does_not_retain_garbage(self):
+        src = """
+        char *stash;
+        int main(void) {
+            char *dead;
+            int i;
+            dead = (char *)GC_malloc(8);
+            /* store dead's address INSIDE an atomic buffer */
+            stash = (char *)GC_malloc_atomic(16);
+            *((char **)stash) = dead;
+            dead = 0;
+            for (i = 0; i < 3000; i++) GC_malloc(64);  /* force collections */
+            return GC_base(*((char **)stash)) == 0;    /* reclaimed? */
+        }
+        """
+        compiled = compile_source(src, CompileConfig.named("g"))
+        result = VM(compiled.asm).run()
+        assert result.exit_code == 1

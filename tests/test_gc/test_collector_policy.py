@@ -1,0 +1,89 @@
+"""Collector policy tests: allocation-trigger thresholds, statistics
+accounting, and realloc chains under pressure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gc import Collector
+
+
+def collector(threshold=8 * 1024):
+    gc = Collector(initial_threshold=threshold)
+    roots: list[int] = []
+    gc.add_root_provider(lambda: roots)
+    return gc, roots
+
+
+class TestTriggerPolicy:
+    def test_threshold_grows_with_live_set(self):
+        gc, roots = collector()
+        for _ in range(200):
+            roots.append(gc.malloc(128))  # all live
+        before = gc._threshold
+        gc.collect()
+        assert gc._threshold >= 2 * gc.heap.bytes_in_use
+        assert gc._threshold >= before
+
+    def test_no_thrashing_when_everything_is_live(self):
+        gc, roots = collector(threshold=4 * 1024)
+        for _ in range(400):
+            roots.append(gc.malloc(64))
+        # The growing threshold must keep the collection count sane.
+        assert gc.stats.collections <= 12
+
+    def test_allocation_counter_resets_after_collect(self):
+        gc, _ = collector()
+        gc.malloc(100)
+        gc.collect()
+        assert gc._allocated_since_gc == 0
+
+    def test_stats_accounting(self):
+        gc, roots = collector()
+        gc.collections_enabled = False
+        keep = gc.malloc(64)
+        roots.append(keep)
+        for _ in range(10):
+            gc.malloc(64)
+        reclaimed = gc.collect()
+        assert reclaimed == 10
+        assert gc.stats.objects_allocated == 11
+        assert gc.stats.objects_reclaimed == 10
+        assert gc.stats.bytes_reclaimed > 0
+        assert gc.stats.marked_last_gc == 1
+
+
+class TestReallocChains:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(1, 400), min_size=1, max_size=15))
+    def test_growth_chain_preserves_prefix(self, sizes):
+        gc, roots = collector()
+        gc.collections_enabled = False
+        data = bytes(range(1, 33))
+        addr = gc.malloc(32)
+        gc.memory.write_bytes(addr, data)
+        roots.append(addr)
+        for size in sizes:
+            new_addr = gc.realloc(addr, max(size, 32))
+            roots[0] = new_addr
+            addr = new_addr
+        assert gc.memory.read_bytes(addr, 32) == data
+
+    def test_realloc_under_collection_pressure(self):
+        gc, roots = collector(threshold=2 * 1024)
+        addr = gc.malloc(16)
+        gc.memory.write_bytes(addr, b"PRECIOUS")
+        roots.append(addr)
+        for i in range(60):
+            new_addr = gc.realloc(roots[0], 16 + i * 8)
+            roots[0] = new_addr
+        assert gc.memory.read_bytes(roots[0], 8) == b"PRECIOUS"
+        assert gc.stats.collections >= 1
+
+
+class TestDisabledCollector:
+    def test_explicit_collect_still_works_when_auto_disabled(self):
+        gc, _ = collector()
+        gc.collections_enabled = False
+        gc.malloc(64)
+        assert gc.collect() == 1
+        assert gc.stats.collections == 1

@@ -1,0 +1,74 @@
+"""Height-2 page-table tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.gc import PAGE_SIZE, PageTable
+
+
+class TestPageTable:
+    def test_register_and_lookup(self):
+        table = PageTable()
+        table.register(0x10_0000, "desc")
+        assert table.lookup(0x10_0000) == "desc"
+
+    def test_lookup_any_offset_in_page(self):
+        table = PageTable()
+        table.register(0x10_0000, "desc")
+        assert table.lookup(0x10_0000 + PAGE_SIZE - 1) == "desc"
+
+    def test_adjacent_page_is_separate(self):
+        table = PageTable()
+        table.register(0x10_0000, "a")
+        assert table.lookup(0x10_0000 + PAGE_SIZE) is None
+
+    def test_unregister(self):
+        table = PageTable()
+        table.register(0x10_0000, "a")
+        table.unregister(0x10_0000)
+        assert table.lookup(0x10_0000) is None
+        assert table.pages == 0
+
+    def test_contains(self):
+        table = PageTable()
+        table.register(0x20_0000, "x")
+        assert 0x20_0000 + 5 in table
+        assert 0x30_0000 not in table
+
+    def test_out_of_range_addresses(self):
+        table = PageTable()
+        assert table.lookup(-1) is None
+        assert table.lookup(1 << 33) is None
+
+    def test_page_count(self):
+        table = PageTable()
+        for i in range(10):
+            table.register(0x10_0000 + i * PAGE_SIZE, i)
+        assert table.pages == 10
+
+    def test_reregister_does_not_double_count(self):
+        table = PageTable()
+        table.register(0x10_0000, "a")
+        table.register(0x10_0000, "b")
+        assert table.pages == 1
+        assert table.lookup(0x10_0000) == "b"
+
+    @given(st.sets(st.integers(0, (1 << 32) // PAGE_SIZE - 1),
+                   min_size=1, max_size=50))
+    def test_registered_pages_always_found(self, page_indices):
+        table = PageTable()
+        for idx in page_indices:
+            table.register(idx * PAGE_SIZE, idx)
+        for idx in page_indices:
+            assert table.lookup(idx * PAGE_SIZE + PAGE_SIZE // 2) == idx
+        assert table.pages == len(page_indices)
+
+    @given(st.sets(st.integers(0, (1 << 20) - 1), min_size=2, max_size=30))
+    def test_unregistered_pages_not_found(self, page_indices):
+        page_indices = sorted(page_indices)
+        registered, skipped = page_indices[::2], page_indices[1::2]
+        table = PageTable()
+        for idx in registered:
+            table.register(idx * PAGE_SIZE, idx)
+        for idx in skipped:
+            if idx not in registered:
+                assert table.lookup(idx * PAGE_SIZE) is None

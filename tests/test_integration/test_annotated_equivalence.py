@@ -1,0 +1,129 @@
+"""The central safety property, tested end to end:
+
+For any program in the corpus, the KEEP_LIVE-annotated optimized build
+must compute the same answer as the unannotated build — with and without
+asynchronous collections and poisoning — and must *stay* correct under
+collection schedules where the heap is actively reclaimed.
+"""
+
+import pytest
+
+from repro.gc import Collector
+from repro.machine import CompileConfig, VM, compile_source
+
+CORPUS = [
+    # Linked list build + traversal with garbage churn.
+    """
+    struct node { int v; struct node *next; };
+    struct node *cons(int v, struct node *rest) {
+        struct node *n = (struct node *)GC_malloc(sizeof(struct node));
+        n->v = v;
+        n->next = rest;
+        return n;
+    }
+    int main(void) {
+        struct node *list = 0;
+        int i, s = 0;
+        for (i = 0; i < 40; i++) list = cons(i, list);
+        for (; list; list = list->next) s += list->v;
+        return s & 0xFF;
+    }
+    """,
+    # String building with interior pointer walking.
+    """
+    int main(void) {
+        char *buf = (char *)GC_malloc(64);
+        char *p = buf;
+        int i, s = 0;
+        for (i = 0; i < 60; i++) *p++ = 'a' + (i % 26);
+        *p = 0;
+        for (p = buf; *p; p++) s += *p - 'a';
+        return s & 0xFF;
+    }
+    """,
+    # Pointer arithmetic with offsets in both directions.
+    """
+    int main(void) {
+        int *a = (int *)GC_malloc(40);
+        int *mid = a + 5;
+        int i, s = 0;
+        for (i = 0; i < 10; i++) a[i] = i * 3;
+        s += mid[-2] + mid[2] + *(mid - 1) + *(mid + 1);
+        return s & 0xFF;
+    }
+    """,
+    # Nested heap structures reached through chains.
+    """
+    struct inner { int data[4]; };
+    struct outer { struct inner *in; int tag; };
+    int main(void) {
+        struct outer *o = (struct outer *)GC_malloc(sizeof(struct outer));
+        int i, s = 0;
+        o->in = (struct inner *)GC_malloc(sizeof(struct inner));
+        o->tag = 5;
+        for (i = 0; i < 4; i++) o->in->data[i] = i + 10;
+        for (i = 0; i < 4; i++) s += o->in->data[i];
+        return (s + o->tag) & 0xFF;
+    }
+    """,
+    # realloc-style growth under pressure.
+    """
+    int main(void) {
+        int *v = (int *)GC_malloc(4 * sizeof(int));
+        int cap = 4, n = 0, i, s = 0;
+        for (i = 0; i < 50; i++) {
+            if (n == cap) {
+                cap = cap * 2;
+                v = (int *)GC_realloc(v, cap * sizeof(int));
+            }
+            v[n++] = i;
+        }
+        for (i = 0; i < n; i++) s += v[i];
+        return s & 0xFF;
+    }
+    """,
+]
+
+
+def run(source, config_name, gc_interval=0):
+    config = CompileConfig.named(config_name)
+    compiled = compile_source(source, config)
+    gc = Collector()
+    gc.heap.poison_byte = 0xDD
+    vm = VM(compiled.asm, config.model, collector=gc, gc_interval=gc_interval)
+    return vm.run()
+
+
+@pytest.mark.parametrize("source", CORPUS, ids=[f"prog{i}" for i in range(len(CORPUS))])
+class TestAnnotatedEquivalence:
+    def test_all_configs_agree_without_gc(self, source):
+        codes = {name: run(source, name).exit_code
+                 for name in ("O", "O_safe", "g", "g_checked")}
+        assert len(set(codes.values())) == 1, codes
+
+    def test_safe_build_correct_under_async_gc(self, source):
+        expected = run(source, "O").exit_code
+        for interval in (1, 17):
+            got = run(source, "O_safe", gc_interval=interval)
+            assert got.exit_code == expected, f"interval {interval}"
+
+    def test_debug_build_correct_under_async_gc(self, source):
+        expected = run(source, "O").exit_code
+        got = run(source, "g", gc_interval=13)
+        assert got.exit_code == expected
+
+    def test_checked_build_correct_under_async_gc(self, source):
+        expected = run(source, "O").exit_code
+        got = run(source, "g_checked", gc_interval=29)
+        assert got.exit_code == expected
+
+    def test_postprocessed_safe_build_correct_under_async_gc(self, source):
+        from repro.postproc import postprocess
+        expected = run(source, "O").exit_code
+        config = CompileConfig.named("O_safe")
+        compiled = compile_source(source, config)
+        postprocess(compiled.asm)
+        gc = Collector()
+        gc.heap.poison_byte = 0xDD
+        vm = VM(compiled.asm, config.model, collector=gc, gc_interval=11)
+        assert vm.run().exit_code == expected

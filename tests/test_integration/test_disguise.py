@@ -1,0 +1,80 @@
+"""Integration test for the paper's headline scenario (experiment A2):
+the optimizer disguises a pointer, an asynchronous collection reclaims
+the object mid-expression, and KEEP_LIVE (or -g) prevents it.
+"""
+
+import pytest
+
+from repro.gc import Collector
+from repro.machine import CompileConfig, VM, compile_source
+
+SOURCE = """
+int helper(int x) { return x + 1; }
+char read_it(char *p, int i)
+{
+    helper(12345);
+    return p[i - 1000];
+}
+int main(void)
+{
+    char *s;
+    int i;
+    s = (char *) GC_malloc(64);
+    for (i = 0; i < 64; i++) s[i] = 'A' + (i % 26);
+    return read_it(s, 1003);
+}
+"""
+EXPECTED = ord("D")
+
+
+def run(config_name, gc_interval=0, poison=0xDD):
+    config = CompileConfig.named(config_name)
+    compiled = compile_source(SOURCE, config)
+    gc = Collector()
+    gc.heap.poison_byte = poison
+    vm = VM(compiled.asm, config.model, collector=gc, gc_interval=gc_interval)
+    return vm.run(), compiled
+
+
+class TestDisguisedPointer:
+    def test_optimizer_produces_the_disguise(self):
+        _, compiled = run("O")
+        asm = compiled.asm.functions["read_it"].render()
+        # p is overwritten in place by p - 1000 (register reuse).
+        assert "sub s" in asm or "sub t" in asm
+
+    def test_correct_without_collections(self):
+        result, _ = run("O", gc_interval=0)
+        assert result.exit_code == EXPECTED
+
+    def test_unsafe_build_corrupted_under_async_gc(self):
+        result, _ = run("O", gc_interval=1)
+        assert result.exit_code != EXPECTED
+        assert result.exit_code == -(256 - 0xDD)  # sign-extended poison
+
+    def test_keep_live_restores_safety(self):
+        result, compiled = run("O_safe", gc_interval=1)
+        assert result.exit_code == EXPECTED
+        asm = compiled.asm.functions["read_it"].render()
+        assert "keepsafe" in asm
+
+    def test_debuggable_build_is_safe(self):
+        result, _ = run("g", gc_interval=1)
+        assert result.exit_code == EXPECTED
+
+    def test_checked_build_is_safe_and_checks(self):
+        result, _ = run("g_checked", gc_interval=1)
+        assert result.exit_code == EXPECTED
+        assert result.checks > 0
+
+    def test_safe_build_survives_every_interval(self):
+        # Not just interval 1: any async schedule must be safe.
+        for interval in (1, 2, 3, 7, 13):
+            result, _ = run("O_safe", gc_interval=interval)
+            assert result.exit_code == EXPECTED, f"failed at interval {interval}"
+
+    def test_annotation_is_minimal(self):
+        _, compiled = run("O_safe")
+        # Exactly two sites qualify: the p[i-1000] read in read_it and
+        # the s[i] store through the heap pointer in main's fill loop.
+        assert compiled.keep_lives == 2

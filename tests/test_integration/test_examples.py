@@ -1,0 +1,47 @@
+"""Every example script must run to completion (they carry their own
+assertions).  cord_strings is exercised by the benchmarks already and
+omitted here for runtime."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+_EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "gc_safety_demo.py",
+    "checker_demo.py",
+    "collector_tour.py",
+    "extensions_demo.py",
+    "source_checking.py",
+    "postproc_tour.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    path = os.path.abspath(os.path.join(_EXAMPLES, script))
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_gc_safety_demo_shows_corruption(capsys, monkeypatch):
+    path = os.path.abspath(os.path.join(_EXAMPLES, "gc_safety_demo.py"))
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert "CORRUPTED" in out
+    assert out.count("OK") >= 3
+
+
+def test_checker_demo_reports_diagnosis(capsys, monkeypatch):
+    path = os.path.abspath(os.path.join(_EXAMPLES, "checker_demo.py"))
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert "CHECKER:" in out

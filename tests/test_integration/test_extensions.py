@@ -1,0 +1,120 @@
+"""Tests for the paper's Extensions section: a collector mode where
+interior pointers are valid only from the stack/registers, the matching
+program discipline ("stores only pointers to the base of an object in
+the heap or in statically allocated variables"), and the dynamic checks
+verifying it."""
+
+import pytest
+
+from repro.core import AnnotateOptions, annotate_source
+from repro.gc import Collector, GCCheckError
+from repro.machine import CompileConfig, VM, compile_source
+
+# Disciplined program: heap/static stores hold base pointers only;
+# interior pointers stay in locals.
+GOOD = """
+struct node { char *text; struct node *next; };
+int main(void) {
+    struct node *n = (struct node *)GC_malloc(sizeof(struct node));
+    char *buf = (char *)GC_malloc(32);
+    char *cursor;
+    int i;
+    for (i = 0; i < 31; i++) buf[i] = 'a' + (i % 26);
+    buf[31] = 0;
+    n->text = buf;                 /* base pointer into the heap: OK */
+    for (cursor = buf; *cursor; cursor++) ;  /* interior, but a local */
+    for (i = 0; i < 3000; i++) GC_malloc(64);
+    return n->text[30];
+}
+"""
+
+# Undisciplined: stores an interior pointer into the heap.
+BAD = """
+struct node { char *text; struct node *next; };
+int main(void) {
+    struct node *n = (struct node *)GC_malloc(sizeof(struct node));
+    char *buf = (char *)GC_malloc(32);
+    int i;
+    for (i = 0; i < 31; i++) buf[i] = 'a' + (i % 26);
+    buf[31] = 0;
+    n->text = buf + 5;             /* interior pointer into the heap! */
+    buf = 0;
+    for (i = 0; i < 3000; i++) GC_malloc(64);
+    return n->text[0];
+}
+"""
+
+
+def run(source, config_name, interior_from_roots_only=False,
+        check_base_stores=False, poison=True):
+    config = CompileConfig.named(config_name)
+    if check_base_stores:
+        options = config.annotate_options or AnnotateOptions()
+        options.check_base_stores = True
+        config.annotate_options = options
+    compiled = compile_source(source, config)
+    gc = Collector(interior_from_roots_only=interior_from_roots_only)
+    if poison:
+        gc.heap.poison_byte = 0xDD
+    vm = VM(compiled.asm, config.model, collector=gc)
+    return vm.run()
+
+
+class TestExtensionsCollectorMode:
+    def test_disciplined_program_safe_in_base_only_mode(self):
+        result = run(GOOD, "g", interior_from_roots_only=True)
+        assert result.exit_code == ord("a") + (30 % 26)
+
+    def test_disciplined_program_safe_in_default_mode(self):
+        result = run(GOOD, "g")
+        assert result.exit_code == ord("a") + (30 % 26)
+
+    def test_undisciplined_program_fine_in_default_mode(self):
+        # With full interior-pointer recognition the sloppy store works.
+        result = run(BAD, "g")
+        assert result.exit_code == ord("f")
+
+    def test_undisciplined_program_breaks_in_base_only_mode(self):
+        # The heap-resident interior pointer is not recognized; the
+        # buffer is collected and the read is poisoned.
+        result = run(BAD, "g", interior_from_roots_only=True)
+        assert result.exit_code != ord("f")
+
+
+class TestBaseStoreChecking:
+    def test_annotation_inserts_checks(self):
+        result = annotate_source(
+            GOOD, mode="checked",
+            options=AnnotateOptions(mode="checked", check_base_stores=True))
+        assert "GC_check_base" in result.text
+        assert result.stats.base_store_checks >= 1
+
+    def test_local_stores_not_checked(self):
+        src = "void f(char *p) { char *q; q = p + 3; *q = 0; }"
+        result = annotate_source(
+            src, mode="checked",
+            options=AnnotateOptions(mode="checked", check_base_stores=True))
+        assert result.stats.base_store_checks == 0
+
+    def test_disciplined_program_passes_checks(self):
+        result = run(GOOD, "g_checked", check_base_stores=True)
+        assert result.exit_code == ord("a") + (30 % 26)
+        assert result.checks > 0
+
+    def test_undisciplined_program_diagnosed(self):
+        with pytest.raises(GCCheckError, match="interior pointer"):
+            run(BAD, "g_checked", check_base_stores=True)
+
+    def test_null_stores_pass(self):
+        src = ("struct n { char *p; };\n"
+               "int main(void) { struct n *x = (struct n *)GC_malloc(8); "
+               "x->p = 0; return x->p == 0; }")
+        result = run(src, "g_checked", check_base_stores=True)
+        assert result.exit_code == 1
+
+    def test_static_store_checked(self):
+        src = ("char *stash;\n"
+               "int main(void) { char *b = (char *)GC_malloc(16); "
+               "stash = b + 2; return 0; }")
+        with pytest.raises(GCCheckError):
+            run(src, "g_checked", check_base_stores=True)

@@ -1,0 +1,58 @@
+"""Experiment A1: the gawk anecdote.
+
+"It ran correctly without checking.  With checking enabled, it
+immediately and correctly detected a pointer arithmetic error which was
+also an array access error."  The bug: representing an array as a
+pointer to one element before the beginning of its memory.
+"""
+
+import pytest
+
+from repro.gc import Collector, GCCheckError
+from repro.machine import CompileConfig, VM, compile_source
+from repro.workloads import WORKLOADS, load_workload
+
+
+def run(defines, config_name):
+    source = load_workload("miniawk", defines=defines)
+    config = CompileConfig.named(config_name)
+    compiled = compile_source(source, config)
+    vm = VM(compiled.asm, config.model)
+    vm.stdin = WORKLOADS["miniawk"].stdin
+    return vm.run()
+
+
+class TestGawkAnecdote:
+    def test_clean_build_passes_checking(self):
+        result = run(None, "g_checked")
+        assert "miniawk: lines=80" in result.output
+
+    def test_buggy_build_runs_correctly_unchecked(self):
+        # The bug "works" under a non-moving allocator — which is
+        # exactly why such bugs survive in the wild.
+        clean = run(None, "O")
+        buggy = run({"GAWK_BUG": "1"}, "O")
+        assert buggy.exit_code == clean.exit_code
+        assert buggy.output == clean.output
+
+    def test_checker_detects_the_bug_immediately(self):
+        with pytest.raises(GCCheckError, match="outside its object|crossed"):
+            run({"GAWK_BUG": "1"}, "g_checked")
+
+    def test_bug_detected_before_any_output(self):
+        # "immediately": the very first field split trips the check,
+        # before the report is printed.
+        source = load_workload("miniawk", defines={"GAWK_BUG": "1"})
+        config = CompileConfig.named("g_checked")
+        compiled = compile_source(source, config)
+        vm = VM(compiled.asm, config.model)
+        vm.stdin = WORKLOADS["miniawk"].stdin
+        with pytest.raises(GCCheckError):
+            vm.run()
+        assert "miniawk:" not in "".join(vm.output)
+
+    def test_safe_mode_does_not_reject_the_bug(self):
+        # GC-safety annotation keeps the base live but does not check;
+        # only the debugging mode diagnoses (paper's division of labor).
+        result = run({"GAWK_BUG": "1"}, "O_safe")
+        assert result.exit_code == run(None, "O").exit_code

@@ -1,0 +1,46 @@
+"""GCBench (auxiliary workload): the classic Boehm collector benchmark
+as an end-to-end stress test — long-lived data must survive heavy
+short-lived churn in every configuration."""
+
+import pytest
+
+from repro.gc import Collector
+from repro.machine import CompileConfig, VM, compile_source
+from repro.workloads import AUX_WORKLOADS, load_workload
+
+
+def run(config_name, threshold=16 * 1024, gc_interval=0):
+    source = load_workload("gcbench")
+    config = CompileConfig.named(config_name)
+    compiled = compile_source(source, config)
+    gc = Collector(initial_threshold=threshold)
+    gc.heap.poison_byte = 0xDD
+    vm = VM(compiled.asm, config.model, collector=gc, gc_interval=gc_interval)
+    result = vm.run()
+    return result, gc
+
+
+class TestGCBench:
+    def test_registered_as_auxiliary(self):
+        assert "gcbench" in AUX_WORKLOADS
+
+    @pytest.mark.parametrize("config", ("O", "O_safe", "g", "g_checked"))
+    def test_all_configs_pass_self_checks(self, config):
+        result, gc = run(config)
+        assert result.exit_code == 0, result.output
+        assert "nodes=1763" in result.output
+
+    def test_collections_actually_happen(self):
+        result, gc = run("O", threshold=8 * 1024)
+        assert result.collections >= 1
+        assert gc.stats.objects_reclaimed > 500  # short-lived trees died
+
+    def test_long_lived_data_survives_aggressive_gc(self):
+        result, _ = run("O_safe", threshold=4 * 1024, gc_interval=50)
+        assert result.exit_code == 0
+
+    def test_heap_stays_bounded(self):
+        _, gc = run("O", threshold=8 * 1024)
+        # Live set is the long-lived tree (255 nodes) + array + slack;
+        # without reclamation the 1763 nodes would all persist.
+        assert gc.heap.objects_in_use < 1200

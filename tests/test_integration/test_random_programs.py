@@ -1,0 +1,106 @@
+"""Property-based differential testing: hypothesis generates small
+pointer-manipulating C programs; every build configuration must agree,
+and the safe build must stay correct under asynchronous collections with
+poisoning.  This is the randomized version of the paper's correctness
+argument.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gc import Collector
+from repro.machine import CompileConfig, VM, compile_source
+
+# ---------------------------------------------------------------------------
+# A tiny structured program generator.  Programs allocate a heap int
+# array, fill it, then run a sequence of pointer/arithmetic statements
+# over it, and return a checksum.  Every construct is defined behavior.
+# ---------------------------------------------------------------------------
+
+N = 16  # heap array length
+
+_expr_leaf = st.sampled_from(["i", "acc", "3", "7", "n"])
+
+_binops = st.sampled_from(["+", "-", "*"])
+
+
+@st.composite
+def _int_expr(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        return draw(_expr_leaf)
+    op = draw(_binops)
+    left = draw(_int_expr(depth - 1))
+    right = draw(_int_expr(depth - 1))
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def _statement(draw):
+    kind = draw(st.sampled_from(
+        ["acc_load", "acc_arith", "store", "ptr_walk", "ptr_offset_read",
+         "cond", "alloc_churn"]))
+    idx = draw(st.integers(0, N - 1))
+    if kind == "acc_load":
+        return f"acc += a[{idx}];"
+    if kind == "acc_arith":
+        expr = draw(_int_expr())
+        return f"acc = (acc + {expr}) & 0xFFFF;"
+    if kind == "store":
+        expr = draw(_int_expr())
+        return f"a[{idx}] = ({expr}) & 0xFF;"
+    if kind == "ptr_walk":
+        steps = draw(st.integers(1, N - 1))
+        return (f"{{ int *p = a; int k; for (k = 0; k < {steps}; k++) p++; "
+                f"acc += *p; }}")
+    if kind == "ptr_offset_read":
+        off = draw(st.integers(0, N - 1))
+        return f"{{ int *p = a + {off}; acc += *p; }}"
+    if kind == "cond":
+        expr = draw(_int_expr(1))
+        return f"if (({expr}) > 0) acc += a[{idx}]; else acc -= a[{idx}];"
+    return "GC_malloc(48);"  # garbage churn to give collections work
+
+
+@st.composite
+def program(draw):
+    body = "\n        ".join(draw(st.lists(_statement(), min_size=2, max_size=8)))
+    return f"""
+    int main(void) {{
+        int *a = (int *)GC_malloc({N} * sizeof(int));
+        int i, n = {N}, acc = 0;
+        for (i = 0; i < n; i++) a[i] = i * 2 + 1;
+        {body}
+        return acc & 0xFF;
+    }}
+    """
+
+
+def run(source, config_name, gc_interval=0):
+    config = CompileConfig.named(config_name)
+    compiled = compile_source(source, config)
+    gc = Collector()
+    gc.heap.poison_byte = 0xDD
+    vm = VM(compiled.asm, config.model, collector=gc,
+            gc_interval=gc_interval, max_instructions=2_000_000)
+    return vm.run().exit_code
+
+
+class TestRandomPrograms:
+    @settings(max_examples=25, deadline=None)
+    @given(program())
+    def test_configs_agree(self, source):
+        expected = run(source, "O")
+        assert run(source, "g") == expected
+        assert run(source, "O_safe") == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(program())
+    def test_safe_build_survives_async_collections(self, source):
+        expected = run(source, "O")
+        assert run(source, "O_safe", gc_interval=7) == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(program())
+    def test_debug_build_survives_async_collections(self, source):
+        expected = run(source, "O")
+        assert run(source, "g", gc_interval=23) == expected

@@ -1,0 +1,77 @@
+"""Workload integration tests: every benchmark program computes a
+consistent, expected answer under the full build matrix, and the paper's
+qualitative orderings hold."""
+
+import pytest
+
+from repro.machine import CompileConfig, VM, compile_source
+from repro.workloads import WORKLOAD_NAMES, WORKLOADS, load_workload
+
+EXPECTED_OUTPUT_MARKS = {
+    "cordtest": "cordtest: checksum=",
+    "cfrac": "cfrac: check=",
+    "miniawk": "miniawk: lines=80",
+    "minips": "minips: checksum=",
+}
+
+
+def run(workload, config_name, postprocessed=False):
+    source = load_workload(workload)
+    config = CompileConfig.named(config_name)
+    compiled = compile_source(source, config)
+    if postprocessed:
+        from repro.postproc import postprocess
+        postprocess(compiled.asm)
+    vm = VM(compiled.asm, config.model)
+    vm.stdin = WORKLOADS[workload].stdin
+    return vm.run(), compiled
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+class TestWorkloadConsistency:
+    def test_all_configs_same_answer(self, workload):
+        results = {}
+        for name in ("O", "O_safe", "g", "g_checked"):
+            result, _ = run(workload, name)
+            results[name] = result
+        codes = {r.exit_code for r in results.values()}
+        outputs = {r.output for r in results.values()}
+        assert len(codes) == 1, {k: v.exit_code for k, v in results.items()}
+        assert len(outputs) == 1
+
+    def test_expected_output_marker(self, workload):
+        result, _ = run(workload, "O")
+        assert EXPECTED_OUTPUT_MARKS[workload] in result.output
+
+    def test_postprocessed_same_answer(self, workload):
+        base, _ = run(workload, "O")
+        pp, _ = run(workload, "O_safe", postprocessed=True)
+        assert pp.exit_code == base.exit_code
+
+    def test_slowdown_ordering(self, workload):
+        """The qualitative result of every table: O <= safe < g < checked."""
+        cycles = {}
+        for name in ("O", "O_safe", "g", "g_checked"):
+            result, _ = run(workload, name)
+            cycles[name] = result.cycles
+        assert cycles["O"] <= cycles["O_safe"] < cycles["g"] < cycles["g_checked"]
+
+    def test_code_size_ordering(self, workload):
+        sizes = {}
+        for name in ("O", "O_safe", "g", "g_checked"):
+            _, compiled = run(workload, name)
+            sizes[name] = compiled.asm.code_size()
+        assert sizes["O"] <= sizes["O_safe"] < sizes["g"] < sizes["g_checked"]
+
+    def test_workload_is_allocation_intensive(self, workload):
+        """The paper chose these because they are 'very pointer and
+        allocation intensive' — ensure ours actually allocate."""
+        result, _ = run(workload, "O")
+        config = CompileConfig.named("O")
+        compiled = compile_source(load_workload(workload), config)
+        from repro.gc import Collector
+        gc = Collector()
+        vm = VM(compiled.asm, config.model, collector=gc)
+        vm.stdin = WORKLOADS[workload].stdin
+        vm.run()
+        assert gc.stats.objects_allocated > 100

@@ -1,0 +1,93 @@
+"""Machine instruction model tests: register accounting and rendering."""
+
+import pytest
+
+from repro.machine.asm import ARG_REGS, MFunc, MInst, MProgram
+
+
+class TestRegisterAccounting:
+    def test_alu_reads_and_writes(self):
+        inst = MInst("add", rd="t0", rs1="t1", rs2="t2")
+        assert set(inst.registers_read()) == {"t1", "t2"}
+        assert inst.register_written() == "t0"
+
+    def test_alu_immediate_form(self):
+        inst = MInst("add", rd="t0", rs1="sp", imm=-16)
+        assert inst.registers_read() == ["sp"]
+
+    def test_store_reads_value_and_address(self):
+        inst = MInst("st", rd="t0", rs1="t1", rs2="t2")
+        assert set(inst.registers_read()) == {"t0", "t1", "t2"}
+        assert inst.register_written() is None
+
+    def test_load_writes_destination(self):
+        inst = MInst("ld", rd="t0", rs1="t1", imm=4)
+        assert inst.register_written() == "t0"
+        assert inst.registers_read() == ["t1"]
+
+    def test_call_reads_argument_registers(self):
+        inst = MInst("call", symbol="f", nargs=3)
+        assert set(inst.registers_read()) == set(ARG_REGS[:3])
+
+    def test_ret_reads_return_value(self):
+        assert "rv" in MInst("ret").registers_read()
+
+    def test_keepsafe_reads_both(self):
+        inst = MInst("keepsafe", rs1="t0", rs2="s1")
+        assert set(inst.registers_read()) == {"t0", "s1"}
+        assert inst.register_written() is None
+
+    def test_label_touches_nothing(self):
+        inst = MInst("label", symbol="L")
+        assert inst.registers_read() == []
+        assert inst.register_written() is None
+
+
+class TestRendering:
+    @pytest.mark.parametrize("inst,expected", [
+        (MInst("li", rd="t0", imm=42), "li t0, 42"),
+        (MInst("la", rd="t0", symbol="g"), "la t0, g"),
+        (MInst("mov", rd="t0", rs1="t1"), "mov t0, t1"),
+        (MInst("add", rd="t0", rs1="t1", rs2="t2"), "add t0, t1, t2"),
+        (MInst("sub", rd="sp", rs1="sp", imm=16), "sub sp, sp, 16"),
+        (MInst("ld", rd="t0", rs1="t1", rs2="t2"), "ldw t0, [t1+t2]"),
+        (MInst("ld", rd="t0", rs1="fp", imm=-8, width=1), "ldb t0, [fp+-8]"),
+        (MInst("ld", rd="t0", rs1="fp", imm=0, width=2, signed=False),
+         "ldhu t0, [fp+0]"),
+        (MInst("st", rd="t0", rs1="t1", imm=4), "stw t0, [t1+4]"),
+        (MInst("jmp", symbol="L"), "jmp L"),
+        (MInst("bz", rs1="t0", symbol="L"), "bz t0, L"),
+        (MInst("call", symbol="f", nargs=2), "call f, 2"),
+        (MInst("ret"), "ret"),
+        (MInst("keepsafe", rs1="t0", rs2="t1"), "!keepsafe t0, t1"),
+    ])
+    def test_render(self, inst, expected):
+        assert inst.render().strip() == expected
+
+    def test_label_renders_without_indent(self):
+        assert MInst("label", symbol="L0").render() == "L0:"
+
+
+class TestCodeSize:
+    def test_labels_and_markers_excluded(self):
+        fn = MFunc("f", [
+            MInst("label", symbol="f"),
+            MInst("li", rd="t0", imm=1),
+            MInst("keepsafe", rs1="t0", rs2="t0"),
+            MInst("nop"),
+            MInst("ret"),
+        ])
+        assert fn.code_size() == 2
+
+    def test_program_size_sums_functions(self):
+        prog = MProgram(functions={
+            "a": MFunc("a", [MInst("ret")]),
+            "b": MFunc("b", [MInst("li", rd="t0", imm=0), MInst("ret")]),
+        })
+        assert prog.code_size() == 3
+
+    def test_render_round_trips_visually(self):
+        fn = MFunc("f", [MInst("li", rd="t0", imm=1), MInst("ret")])
+        text = fn.render()
+        assert text.splitlines()[0].startswith("f:")
+        assert "li t0, 1" in text

@@ -1,0 +1,104 @@
+"""Assembly text round-trip tests: render -> parse -> identical
+execution, so the postprocessor can run as a standalone text filter,
+like the paper's."""
+
+import pytest
+
+from repro.machine import CompileConfig, VM, compile_source
+from repro.machine.asm import MInst
+from repro.machine.asmparse import (
+    AsmParseError, parse_instruction, parse_program_text, round_trip,
+)
+from repro.workloads import WORKLOADS, load_workload
+
+
+class TestInstructionRoundTrip:
+    @pytest.mark.parametrize("inst", [
+        MInst("li", rd="t0", imm=-42),
+        MInst("la", rd="t1", symbol="__str0"),
+        MInst("mov", rd="t0", rs1="a0"),
+        MInst("add", rd="t0", rs1="t1", rs2="t2"),
+        MInst("sub", rd="sp", rs1="sp", imm=24),
+        MInst("slt", rd="t0", rs1="t1", rs2="t2"),
+        MInst("neg", rd="t0", rs1="t0"),
+        MInst("sext8", rd="t0", rs1="t1"),
+        MInst("ld", rd="t0", rs1="fp", imm=-8),
+        MInst("ld", rd="t0", rs1="t1", rs2="t2", width=1),
+        MInst("ld", rd="t0", rs1="t1", imm=0, width=2, signed=False),
+        MInst("st", rd="t0", rs1="fp", imm=-12, width=1),
+        MInst("jmp", symbol=".L0"),
+        MInst("bz", rs1="t0", symbol=".L1"),
+        MInst("bnz", rs1="t0", symbol=".L1"),
+        MInst("call", symbol="printf", nargs=3),
+        MInst("callr", rs1="t5", nargs=1),
+        MInst("ret"),
+        MInst("keepsafe", rs1="t0", rs2="s1"),
+        MInst("nop"),
+        MInst("label", symbol=".here"),
+    ])
+    def test_render_parse_render_fixpoint(self, inst):
+        text = inst.render()
+        parsed = parse_instruction(text)
+        assert parsed.render() == text
+
+    def test_bad_mnemonic_raises(self):
+        with pytest.raises(AsmParseError):
+            parse_instruction("frobnicate t0, t1", 3)
+
+    def test_bad_memory_operand_raises(self):
+        with pytest.raises(AsmParseError):
+            parse_instruction("ldw t0, (t1)", 1)
+
+    def test_code_before_header_raises(self):
+        with pytest.raises(AsmParseError):
+            parse_program_text("    ret\n")
+
+
+class TestProgramRoundTrip:
+    SOURCES = [
+        "int main(void) { return 41; }",
+        ("int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n"
+         "int main(void) { return fib(10); }"),
+        ("int main(void) { char *p = (char *)GC_malloc(16); int i; "
+         "for (i = 0; i < 10; i++) p[i] = i; return p[7]; }"),
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    @pytest.mark.parametrize("config_name", ("O", "O_safe", "g"))
+    def test_round_trip_executes_identically(self, source, config_name):
+        config = CompileConfig.named(config_name)
+        compiled = compile_source(source, config)
+        expected = VM(compiled.asm, config.model).run()
+        reparsed = round_trip(compiled.asm)
+        got = VM(reparsed, config.model).run()
+        assert got.exit_code == expected.exit_code
+        assert got.instructions == expected.instructions
+        assert got.cycles == expected.cycles
+
+    def test_workload_round_trips(self):
+        config = CompileConfig.named("O_safe")
+        compiled = compile_source(load_workload("cordtest"), config)
+        expected = VM(compiled.asm, config.model).run()
+        reparsed = round_trip(compiled.asm)
+        got = VM(reparsed, config.model).run()
+        assert got.exit_code == expected.exit_code
+
+    def test_standalone_postprocess_pipeline(self):
+        """The paper's usage: compiler | postprocessor | assembler, as
+        three text stages."""
+        from repro.postproc import postprocess
+        source = ("int sum(int *a, int n) { int i, t = 0; "
+                  "for (i = 0; i < n; i++) t += a[i]; return t; }\n"
+                  "int main(void) { int b[16]; int i; "
+                  "for (i = 0; i < 16; i++) b[i] = i; return sum(b, 16); }")
+        config = CompileConfig.named("O_safe")
+        compiled = compile_source(source, config)
+        baseline = VM(compiled.asm, config.model).run()
+
+        text = compiled.asm.render()            # stage 1: compiler output
+        prog = parse_program_text(text)          # stage 2: parse
+        prog.globals = dict(compiled.asm.globals)
+        stats = postprocess(prog)                #          postprocess
+        final = VM(prog, config.model).run()     # stage 3: run
+        assert final.exit_code == baseline.exit_code == 120
+        assert final.cycles <= baseline.cycles

@@ -1,0 +1,50 @@
+"""Machine cost model tests."""
+
+import pytest
+
+from repro.machine.models import (
+    MODELS, MachineModel, PENTIUM_90, SPARC_10, SPARCSTATION_2,
+)
+
+
+class TestModels:
+    def test_registry_contains_all_three_machines(self):
+        assert set(MODELS) == {"ss2", "ss10", "p90"}
+
+    def test_pentium_is_register_starved(self):
+        # The paper's Analysis hinges on this contrast.
+        assert PENTIUM_90.num_regs < SPARCSTATION_2.num_regs
+        assert PENTIUM_90.num_regs < SPARC_10.num_regs
+
+    def test_ss2_memory_is_slower_than_ss10(self):
+        assert SPARCSTATION_2.load_cycles > SPARC_10.load_cycles
+        assert SPARCSTATION_2.store_cycles > SPARC_10.store_cycles
+
+    def test_markers_and_labels_are_free(self):
+        for model in MODELS.values():
+            assert model.cycles_for("keepsafe") == 0
+            assert model.cycles_for("label") == 0
+            assert model.cycles_for("nop") == 0
+
+    def test_every_real_op_costs_at_least_one(self):
+        for model in MODELS.values():
+            for op in ("add", "ld", "st", "mul", "div", "jmp", "call", "ret",
+                       "mov", "li", "slt"):
+                assert model.cycles_for(op) >= 1, (model.name, op)
+
+    def test_taken_branch_extra(self):
+        assert (SPARCSTATION_2.cycles_for("bz", taken=True)
+                > SPARCSTATION_2.cycles_for("bz", taken=False))
+        assert (SPARC_10.cycles_for("bz", taken=True)
+                == SPARC_10.cycles_for("bz", taken=False))
+
+    def test_multiplies_slowest_on_ss2(self):
+        assert SPARCSTATION_2.mul_cycles > SPARC_10.mul_cycles
+
+    def test_models_are_frozen(self):
+        with pytest.raises(Exception):
+            SPARC_10.load_cycles = 99  # type: ignore[misc]
+
+    def test_check_cost_positive_everywhere(self):
+        for model in MODELS.values():
+            assert model.builtin_check_cycles > 0

@@ -1,0 +1,215 @@
+"""VM tests: execution mechanics, builtins, GC integration, limits."""
+
+import pytest
+
+from repro.gc import Collector, GCCheckError
+from repro.machine import CompileConfig, VM, VMError, compile_source
+from repro.machine.models import PENTIUM_90, SPARC_10, SPARCSTATION_2
+
+
+def build(source, config=None):
+    config = config or CompileConfig()
+    compiled = compile_source(source, config)
+    return compiled
+
+
+class TestExecution:
+    def test_exit_code_is_signed(self):
+        compiled = build("int main(void) { return -3; }")
+        assert VM(compiled.asm).run().exit_code == -3
+
+    def test_instruction_and_cycle_counting(self):
+        compiled = build("int main(void) { return 1 + 2; }")
+        r = VM(compiled.asm).run()
+        assert r.instructions > 0
+        assert r.cycles >= r.instructions  # every inst costs >= 1 (markers 0)
+
+    def test_cost_models_differ(self):
+        src = ("int main(void) { int a[64]; int i, s = 0; "
+               "for (i = 0; i < 64; i++) a[i] = i; "
+               "for (i = 0; i < 64; i++) s += a[i] * 3; return 0; }")
+        runs = {}
+        for model in (SPARCSTATION_2, SPARC_10):
+            compiled = build(src, CompileConfig(model=model))
+            runs[model.name] = VM(compiled.asm, model).run()
+        # Same instruction stream, different cycles (loads/muls dearer on SS2).
+        assert runs["SPARCstation 2"].cycles > runs["SPARCstation 10"].cycles
+
+    def test_undefined_function_raises(self):
+        compiled = build("int main(void) { nosuchthing(); return 0; }")
+        with pytest.raises(VMError):
+            VM(compiled.asm).run()
+
+    def test_instruction_budget(self):
+        compiled = build("int main(void) { while (1) ; return 0; }")
+        vm = VM(compiled.asm, max_instructions=10_000)
+        with pytest.raises(VMError):
+            vm.run()
+
+    def test_load_fault_reported(self):
+        compiled = build("int main(void) { int *p = 0; return *p; }")
+        with pytest.raises(VMError, match="load fault"):
+            VM(compiled.asm).run()
+
+    def test_exit_builtin_stops_immediately(self):
+        compiled = build('int main(void) { exit(9); return 1; }')
+        assert VM(compiled.asm).run().exit_code == 9
+
+    def test_abort_raises(self):
+        compiled = build("int main(void) { abort(); return 0; }")
+        with pytest.raises(VMError, match="abort"):
+            VM(compiled.asm).run()
+
+
+class TestGlobals:
+    def test_global_initializers_linked(self):
+        src = ('int counter = 5;\nchar *greeting = "hey";\n'
+               "int main(void) { return counter + greeting[0]; }")
+        compiled = build(src)
+        assert VM(compiled.asm).run().exit_code == 5 + ord("h")
+
+    def test_global_array_with_relocated_strings(self):
+        src = ('char *names[2] = {"ab", "cd"};\n'
+               "int main(void) { return names[1][0]; }")
+        compiled = build(src)
+        assert VM(compiled.asm).run().exit_code == ord("c")
+
+    def test_globals_are_gc_roots(self):
+        src = """
+        char *keep;
+        int main(void) {
+            int i;
+            keep = (char *)GC_malloc(32);
+            keep[0] = 77;
+            for (i = 0; i < 3000; i++) GC_malloc(64);
+            return keep[0];
+        }
+        """
+        compiled = build(src)
+        gc = Collector()
+        gc.heap.poison_byte = 0xDD
+        vm = VM(compiled.asm, collector=gc)
+        r = vm.run()
+        assert r.exit_code == 77
+        assert r.collections >= 1
+
+
+class TestGCIntegration:
+    def test_stack_locals_are_roots(self):
+        src = """
+        int main(void) {
+            char *s = (char *)GC_malloc(16);
+            int i;
+            s[5] = 42;
+            for (i = 0; i < 3000; i++) GC_malloc(64);
+            return s[5];
+        }
+        """
+        compiled = build(src, CompileConfig.named("g"))  # s in the frame
+        gc = Collector()
+        gc.heap.poison_byte = 0xDD
+        r = VM(compiled.asm, collector=gc).run()
+        assert r.exit_code == 42
+
+    def test_register_locals_are_roots(self):
+        src = """
+        int churn(void) { int i; for (i = 0; i < 2000; i++) GC_malloc(64); return 0; }
+        int main(void) {
+            char *s = (char *)GC_malloc(16);
+            s[5] = 43;
+            churn();
+            return s[5];
+        }
+        """
+        compiled = build(src, CompileConfig.named("O"))
+        gc = Collector()
+        gc.heap.poison_byte = 0xDD
+        r = VM(compiled.asm, collector=gc).run()
+        assert r.exit_code == 43
+
+    def test_gc_interval_forces_collections(self):
+        compiled = build("int main(void) { return 0; }")
+        r = VM(compiled.asm, gc_interval=5).run()
+        assert r.collections > 0
+
+    def test_checked_violation_surfaces_as_gccheckerror(self):
+        src = ("int main(void) { char *p = (char *)GC_malloc(8); "
+               "char *q; q = p - 1; return q == 0; }")
+        compiled = build(src, CompileConfig.named("g_checked"))
+        with pytest.raises(GCCheckError):
+            VM(compiled.asm).run()
+
+
+class TestBuiltinCoverage:
+    def test_rand_is_deterministic(self):
+        src = ("int main(void) { srand(7); return rand() == rand() ? 1 : 0; }")
+        compiled = build(src)
+        a = VM(compiled.asm).run().exit_code
+        b = VM(compiled.asm).run().exit_code
+        assert a == b == 0
+
+    def test_abs(self):
+        compiled = build("int main(void) { return abs(-7) + abs(7); }")
+        assert VM(compiled.asm).run().exit_code == 14
+
+    def test_calloc_zeroes(self):
+        src = ("int main(void) { int *p = (int *)calloc(4, 4); "
+               "return p[0] + p[3]; }")
+        compiled = build(src)
+        assert VM(compiled.asm).run().exit_code == 0
+
+    def test_realloc_preserves(self):
+        src = """
+        int main(void) {
+            int *p = (int *)GC_malloc(8);
+            p[0] = 11; p[1] = 22;
+            p = (int *)GC_realloc(p, 64);
+            return p[0] + p[1];
+        }
+        """
+        compiled = build(src)
+        assert VM(compiled.asm).run().exit_code == 33
+
+    def test_strchr(self):
+        src = ('int main(void) { char *s = "hello"; char *e = strchr(s, 108); '
+               "return e - s; }")
+        compiled = build(src)
+        assert VM(compiled.asm).run().exit_code == 2
+
+    def test_gc_base_builtin(self):
+        src = ("int main(void) { char *p = (char *)GC_malloc(32); "
+               "return (char *)GC_base(p + 7) == p; }")
+        compiled = build(src)
+        assert VM(compiled.asm).run().exit_code == 1
+
+
+class TestExtendedLibrary:
+    def _run(self, src):
+        compiled = build(src)
+        return VM(compiled.asm).run()
+
+    def test_sprintf(self):
+        r = self._run('int main(void) { char b[32]; sprintf(b, "%d-%s", 7, "x"); '
+                      'return strcmp(b, "7-x") == 0; }')
+        assert r.exit_code == 1
+
+    def test_strncpy_pads_and_limits(self):
+        r = self._run('int main(void) { char b[8]; strncpy(b, "ab", 5); '
+                      "return b[1] == 'b' && b[2] == 0 && b[4] == 0; }")
+        assert r.exit_code == 1
+
+    def test_strstr_found_and_missing(self):
+        r = self._run('int main(void) { char *h = "needle in hay"; '
+                      'return (strstr(h, "in") == h + 7) '
+                      '&& (strstr(h, "zz") == 0); }')
+        assert r.exit_code == 1
+
+    def test_ctype_family(self):
+        r = self._run("int main(void) { return isdigit('3') + isalpha('z') * 2 "
+                      "+ isspace('\\t') * 4 + isalnum('_') * 8; }")
+        assert r.exit_code == 1 + 2 + 4
+
+    def test_case_conversion(self):
+        r = self._run("int main(void) { return toupper('m') == 'M' "
+                      "&& tolower('M') == 'm' && toupper('3') == '3'; }")
+        assert r.exit_code == 1
