@@ -1,0 +1,68 @@
+"""Host-side interpreter throughput micro-benchmark.
+
+The tables in T1-T5 measure *simulated* cycles, which are independent of
+how fast the interpreter itself runs.  This file watches the other axis:
+wall-clock instructions/second of the threaded-code engine, which bounds
+how large a workload the benchmark suite can afford.
+
+Two properties are asserted:
+
+* **Determinism** — two fresh VMs on the same program produce identical
+  instruction/cycle/collection counts and output.  The counts *are* the
+  experiment data, so any nondeterminism here invalidates the tables.
+* **A conservative throughput floor** — the threaded-code engine runs at
+  roughly 2M simulated instructions per host second on current CPython;
+  the floor is set ~10x below that so the test only fires on a genuine
+  dispatch regression (e.g. reintroducing a decode loop), never on a
+  slow CI machine.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.machine import CompileConfig, VM, compile_source
+from repro.machine.models import MODELS
+from repro.workloads import WORKLOADS, load_workload
+
+_FLOOR_INSTS_PER_SEC = 200_000
+
+
+def _fresh_run(workload: str, config_name: str = "O"):
+    spec = WORKLOADS[workload]
+    config = CompileConfig.named(config_name, MODELS["ss10"])
+    compiled = compile_source(load_workload(workload), config)
+    vm = VM(compiled.asm, MODELS["ss10"])
+    vm.stdin = spec.stdin
+    start = time.perf_counter()
+    result = vm.run()
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def test_counts_are_deterministic():
+    first, _ = _fresh_run("cfrac")
+    second, _ = _fresh_run("cfrac")
+    assert first.instructions == second.instructions
+    assert first.cycles == second.cycles
+    assert first.collections == second.collections
+    assert first.output == second.output
+    assert first.exit_code == second.exit_code
+
+
+def test_dispatch_throughput_floor():
+    result, elapsed = _fresh_run("cfrac")
+    rate = result.instructions / elapsed
+    assert rate > _FLOOR_INSTS_PER_SEC, (
+        f"interpreter ran at {rate:,.0f} simulated insts/s "
+        f"(floor {_FLOOR_INSTS_PER_SEC:,}); dispatch has regressed badly")
+
+
+def test_debug_build_throughput_floor():
+    # -g keeps every local in memory, so this additionally exercises the
+    # load/store fast paths rather than pure register dispatch.
+    result, elapsed = _fresh_run("cordtest", "g")
+    rate = result.instructions / elapsed
+    assert rate > _FLOOR_INSTS_PER_SEC, (
+        f"debug-build interpreter ran at {rate:,.0f} simulated insts/s "
+        f"(floor {_FLOOR_INSTS_PER_SEC:,})")

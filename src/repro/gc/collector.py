@@ -15,11 +15,12 @@ Semantics follow the paper's "Compiler Safety Problem Statement":
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from .heap import Heap, PageDescriptor
-from .memory import HEAP_BASE, Memory
+from .memory import HEAP_BASE, Memory, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE
 from ..cfront.ctypes import WORD_SIZE
 
 
@@ -133,50 +134,78 @@ class Collector:
         return reclaimed
 
     def _mark(self) -> None:
-        worklist: list[int] = []
+        # The mark phase is the collector's hot loop: every word of every
+        # root range and every reachable object flows through here.  The
+        # two-level page-table lookup is inlined (one bounds-free double
+        # indexation per candidate) and ranges are read as bulk
+        # little-endian word vectors straight off the page buffers
+        # instead of one load_word call per word.
+        worklist: list[tuple[int, int]] = []  # (object base, object size)
         marked = 0
+        top = self.heap.table._top
+        mem_pages = self.memory._pages
+        roots_only = self.interior_from_roots_only
 
         def consider(value: int, from_roots: bool) -> None:
             nonlocal marked
-            desc = self.heap.descriptor_for(value)
+            bottom = top[value >> 22]
+            if bottom is None:
+                return
+            desc = bottom[(value >> 12) & 1023]
             if desc is None:
                 return
-            if self.interior_from_roots_only and not from_roots:
+            # Resolve the containing object: base address + slot index.
+            if desc.large:
+                if not desc.alloc[0] or value >= desc.start + desc.obj_size:
+                    return
+                idx, base = 0, desc.start
+            else:
+                offset = value - desc.start
+                if offset < 0:
+                    return
+                idx = offset // desc.obj_size
+                if idx >= desc.n_objects or not desc.alloc[idx]:
+                    return
+                base = desc.start + idx * desc.obj_size
+            if roots_only and not from_roots and value != base:
                 # Extensions mode: heap-resident pointers must point at
                 # the base of an object to be recognized.
-                idx = desc.object_index(value)
-                if idx is None or desc.object_base(idx) != value:
-                    return
-            base = self.heap.base_of(value)
-            if base is None:
                 return
-            d = self.heap.descriptor_for(base)
-            assert isinstance(d, PageDescriptor)
-            idx = d.object_index(base)
-            assert idx is not None
-            if not d.mark[idx]:
-                d.mark[idx] = True
+            if not desc.mark[idx]:
+                desc.mark[idx] = True
                 marked += 1
-                worklist.append(base)
+                if not desc.atomic:  # pointer-free: nothing inside to trace
+                    worklist.append((base, desc.obj_size))
+
+        def scan_words(start: int, end: int, from_roots: bool) -> None:
+            """Conservatively consider every aligned word in [start, end),
+            page by page; unmapped pages are skipped wholesale."""
+            addr = start & ~(WORD_SIZE - 1)
+            while addr + WORD_SIZE <= end:
+                page = mem_pages.get(addr >> PAGE_SHIFT)
+                page_end = (addr & ~PAGE_MASK) + PAGE_SIZE
+                chunk_end = min(end, page_end)
+                if page is None:
+                    addr = page_end
+                    continue
+                count = (chunk_end - addr) // WORD_SIZE
+                if count:
+                    off = addr & PAGE_MASK
+                    for value in struct.unpack_from(f"<{count}I", page, off):
+                        consider(value, from_roots)
+                addr += count * WORD_SIZE
+                if addr + WORD_SIZE > chunk_end:
+                    addr = page_end
 
         for root in self._all_root_ranges():
-            addr = root.start & ~(WORD_SIZE - 1)
-            while addr + WORD_SIZE <= root.end:
-                if self.memory.is_mapped(addr):
-                    consider(self.memory.load_word(addr), from_roots=True)
-                addr += WORD_SIZE
+            scan_words(root.start, root.end, True)
         for provider in self.dynamic_root_providers:
             for value in provider():
-                consider(value, from_roots=True)
+                consider(value, True)
 
         while worklist:
-            base = worklist.pop()
-            desc = self.heap.descriptor_for(base)
-            if isinstance(desc, PageDescriptor) and desc.atomic:
-                continue  # pointer-free: nothing inside to trace
-            size = self.heap.size_of(base) or 0
-            for off in range(0, size - WORD_SIZE + 1, WORD_SIZE):
-                consider(self.memory.load_word(base + off), from_roots=False)
+            base, size = worklist.pop()
+            scan_words(base, base + size, False)
         self.stats.marked_last_gc = marked
 
     def _all_root_ranges(self) -> Iterable[RootRange]:
@@ -186,13 +215,15 @@ class Collector:
 
     def _sweep(self) -> int:
         reclaimed = 0
+        free_object = self.heap.free_object
         for desc in self.heap.all_pages:
+            alloc, mark = desc.alloc, desc.mark
             for idx in range(desc.n_objects):
-                if desc.alloc[idx] and not desc.mark[idx]:
+                if alloc[idx] and not mark[idx]:
                     self.stats.bytes_reclaimed += desc.obj_size
-                    self.heap.free_object(desc, idx)
+                    free_object(desc, idx)
                     reclaimed += 1
-                desc.mark[idx] = False
+                mark[idx] = False
         self.stats.objects_reclaimed += reclaimed
         return reclaimed
 

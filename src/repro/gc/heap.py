@@ -33,6 +33,7 @@ class PageDescriptor:
     alloc: list[bool] = field(default_factory=list)
     mark: list[bool] = field(default_factory=list)
     free_slots: list[int] = field(default_factory=list)
+    in_partial: bool = False  # tracked on the allocator's partial-page list
 
     def __post_init__(self):
         if not self.alloc:
@@ -98,6 +99,7 @@ class Heap:
         self.table.register(start, desc)
         self.all_pages.append(desc)
         self._partial.setdefault((obj_size, atomic), []).append(desc)
+        desc.in_partial = True
         return desc
 
     def _make_large_object(self, size: int, atomic: bool) -> PageDescriptor:
@@ -127,7 +129,7 @@ class Heap:
         else:
             pages = self._partial.setdefault((size, atomic), [])
             while pages and not pages[-1].free_slots:
-                pages.pop()
+                pages.pop().in_partial = False
             desc = pages[-1] if pages else self._make_small_page(size, atomic)
             idx = desc.free_slots.pop()
             desc.alloc[idx] = True
@@ -148,9 +150,11 @@ class Heap:
             self.memory.fill(desc.object_base(idx), desc.obj_size, self.poison_byte)
         self.bytes_in_use -= desc.obj_size
         self.objects_in_use -= 1
-        key = (desc.obj_size, desc.atomic)
-        if not desc.large and desc not in self._partial.setdefault(key, []):
-            self._partial[key].append(desc)
+        # O(1) membership flag (a `desc in list` scan here is quadratic
+        # across a sweep that frees many objects).
+        if not desc.large and not desc.in_partial:
+            self._partial.setdefault((desc.obj_size, desc.atomic), []).append(desc)
+            desc.in_partial = True
 
     # -- queries ------------------------------------------------------------------
 

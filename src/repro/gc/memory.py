@@ -9,6 +9,11 @@ Both the VM (registers, stack, globals) and the collector (heap pages,
 conservative scanning) operate on one :class:`Memory` instance — this is
 what makes "any bit pattern that might represent the address of a heap
 object" scannable, the defining property of a conservative collector.
+
+All bulk helpers (``write_bytes``/``read_bytes``/``fill``/
+``read_cstring``) work a page slice at a time rather than a byte at a
+time: allocation zeroing, string builtins, and conservative root scans
+all sit on these paths.
 """
 
 from __future__ import annotations
@@ -68,21 +73,17 @@ class Memory:
 
     # -- typed access -----------------------------------------------------
 
-    def _page_for(self, addr: int, width: int) -> tuple[bytearray, int]:
-        if addr < 0 or addr + width > ADDRESS_LIMIT:
-            raise MemoryFault(addr, "address out of range")
-        page = self._pages.get(addr >> PAGE_SHIFT)
-        if page is None:
-            raise MemoryFault(addr)
-        return page, addr & PAGE_MASK
-
     def load(self, addr: int, width: int = 4, signed: bool = False) -> int:
         """Load ``width`` bytes little-endian.  Crossing a page boundary
         is supported (needed for conservative scans of unaligned data)."""
         off = addr & PAGE_MASK
         if off + width <= PAGE_SIZE:
-            page, off = self._page_for(addr, width)
-            raw = bytes(page[off : off + width])
+            if addr < 0 or addr + width > ADDRESS_LIMIT:
+                raise MemoryFault(addr, "address out of range")
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            if page is None:
+                raise MemoryFault(addr)
+            raw = page[off : off + width]
         else:
             raw = bytes(self.load(addr + i, 1) for i in range(width))
         return int.from_bytes(raw, "little", signed=signed)
@@ -94,7 +95,11 @@ class Memory:
             for i, b in enumerate(data):
                 self.store(addr + i, b, 1)
             return
-        page, off = self._page_for(addr, width)
+        if addr < 0 or addr + width > ADDRESS_LIMIT:
+            raise MemoryFault(addr, "address out of range")
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if page is None:
+            raise MemoryFault(addr)
         page[off : off + width] = (value % (1 << (8 * width))).to_bytes(width, "little")
 
     def load_word(self, addr: int) -> int:
@@ -105,22 +110,61 @@ class Memory:
 
     # -- bulk helpers -------------------------------------------------------
 
+    def _page_at(self, addr: int) -> bytearray:
+        if addr < 0 or addr >= ADDRESS_LIMIT:
+            raise MemoryFault(addr, "address out of range")
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if page is None:
+            raise MemoryFault(addr)
+        return page
+
     def write_bytes(self, addr: int, data: bytes) -> None:
-        for i, b in enumerate(data):
-            self.store(addr + i, b, 1)
+        n = len(data)
+        i = 0
+        while i < n:
+            a = addr + i
+            page = self._page_at(a)
+            off = a & PAGE_MASK
+            take = min(PAGE_SIZE - off, n - i)
+            page[off : off + take] = data[i : i + take]
+            i += take
 
     def read_bytes(self, addr: int, size: int) -> bytes:
-        return bytes(self.load(addr + i, 1) for i in range(size))
+        chunks: list[bytes] = []
+        i = 0
+        while i < size:
+            a = addr + i
+            page = self._page_at(a)
+            off = a & PAGE_MASK
+            take = min(PAGE_SIZE - off, size - i)
+            chunks.append(bytes(page[off : off + take]))
+            i += take
+        return b"".join(chunks)
 
     def read_cstring(self, addr: int, limit: int = 1 << 16) -> str:
-        out = bytearray()
-        for i in range(limit):
-            b = self.load(addr + i, 1)
-            if b == 0:
+        chunks: list[bytes] = []
+        a = addr
+        remaining = limit
+        while remaining > 0:
+            page = self._page_at(a)
+            off = a & PAGE_MASK
+            take = min(PAGE_SIZE - off, remaining)
+            chunk = page[off : off + take]
+            z = chunk.find(0)
+            if z >= 0:
+                chunks.append(bytes(chunk[:z]))
                 break
-            out.append(b)
-        return out.decode("latin-1")
+            chunks.append(bytes(chunk))
+            a += take
+            remaining -= take
+        return b"".join(chunks).decode("latin-1")
 
     def fill(self, addr: int, size: int, byte: int = 0) -> None:
-        for i in range(size):
-            self.store(addr + i, byte, 1)
+        i = 0
+        while i < size:
+            a = addr + i
+            page = self._page_at(a)
+            off = a & PAGE_MASK
+            take = min(PAGE_SIZE - off, size - i)
+            page[off : off + take] = bytes([byte]) * take
+            i += take

@@ -107,7 +107,17 @@ def _try_reassoc(fn: IRFunc, idx: int, inst: Inst, p: Vreg, t1: Vreg,
     # Rewrite:  t1 = sub(i, c)  ->  t1 = sub(p, c)   (pointer adjusted)
     #           t2 = add(p, t1) ->  t2 = add(t1, i)
     p_iv = intervals.get(p) if intervals is not None else None
-    if p_iv is not None and p_iv.end <= 2 * idx:
+    # The in-place variant overwrites p at t1's definition point, so it
+    # is only sound when the index operand is a different register (for
+    # p[p - c] both operands of the final add would read the adjusted
+    # pointer) and nothing between the two instructions still reads the
+    # original p.
+    in_place_ok = (
+        i_val != p
+        and inst.dst != p
+        and not any(p in fn.insts[k].args
+                    for k in range(t1_def_idx + 1, idx)))
+    if p_iv is not None and p_iv.end <= 2 * idx and in_place_ok:
         # p is dead after this address computation: overwrite it in
         # place, the paper's literal "p = p - 1000; ... p[i]".  Between
         # the adjustment and the use, no register holds a pointer into

@@ -7,10 +7,23 @@ those counts are the "running time" of every benchmark table.  An
 ``gc_interval`` makes collections fire asynchronously every N
 instructions, the paper's multi-threaded/asynchronous-collection threat
 model under which GC-safety failures become observable.
+
+Execution engine
+----------------
+
+The VM is a *threaded-code* interpreter: at link time every
+:class:`MInst` is compiled once into a small closure with its operands,
+branch targets, cycle cost, and callee already resolved, so the
+per-instruction dispatch loop is just ``pc = ops[pc](pc)`` plus the
+instruction accounting.  Counts are identical to a naive
+decode-per-instruction loop — the benchmark tables depend on exact
+cycle and instruction totals — only the Python-level interpretation
+overhead changes.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 
 from ..gc.collector import Collector, GCCheckError, RootRange
@@ -20,6 +33,10 @@ from .models import MachineModel, SPARC_10
 
 FUNC_BASE = 0x0400_0000
 _MASK = 0xFFFFFFFF
+
+# Sentinel pc returned by ``ret`` closures: always >= len(ops), so the
+# execution loop's ``pc < n`` test exits.
+_RET_PC = 1 << 30
 
 
 class VMError(Exception):
@@ -46,6 +63,65 @@ class RunResult:
                 f"cycles={self.cycles}, collections={self.collections})")
 
 
+def _s32(x: int) -> int:
+    """Signed view of an already-masked 32-bit value."""
+    return x - 0x1_0000_0000 if x >= 0x8000_0000 else x
+
+
+def _alu_div(a: int, b: int) -> int:
+    sa, sb = _s32(a), _s32(b)
+    if sb == 0:
+        raise VMError("integer division by zero in div")
+    q = abs(sa) // abs(sb)
+    return (q if (sa < 0) == (sb < 0) else -q) & _MASK
+
+
+def _alu_mod(a: int, b: int) -> int:
+    sa, sb = _s32(a), _s32(b)
+    if sb == 0:
+        raise VMError("integer division by zero in mod")
+    q = abs(sa) // abs(sb)
+    q = q if (sa < 0) == (sb < 0) else -q
+    return (sa - q * sb) & _MASK
+
+
+# Two-operand ALU semantics on masked 32-bit values (C truncating
+# division; the same semantics `opt.local.eval_bin` folds with).
+ALU_FUNCS = {
+    "add": lambda a, b: (a + b) & _MASK,
+    "sub": lambda a, b: (a - b) & _MASK,
+    "mul": lambda a, b: (a * b) & _MASK,
+    "div": _alu_div,
+    "mod": _alu_mod,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: (a << (b & 31)) & _MASK,
+    "shr": lambda a, b: (_s32(a) >> (b & 31)) & _MASK,
+    "srl": lambda a, b: a >> (b & 31),
+    "seq": lambda a, b: int(a == b),
+    "sne": lambda a, b: int(a != b),
+    "slt": lambda a, b: int(_s32(a) < _s32(b)),
+    "sle": lambda a, b: int(_s32(a) <= _s32(b)),
+    "sgt": lambda a, b: int(_s32(a) > _s32(b)),
+    "sge": lambda a, b: int(_s32(a) >= _s32(b)),
+    "sltu": lambda a, b: int(a < b),
+    "sleu": lambda a, b: int(a <= b),
+    "sgtu": lambda a, b: int(a > b),
+    "sgeu": lambda a, b: int(a >= b),
+}
+
+UNARY_FUNCS = {
+    "neg": lambda a: (-a) & _MASK,
+    "not": lambda a: int(a == 0),
+    "bnot": lambda a: (~a) & _MASK,
+    "sext8": lambda a: ((a & 0xFF) - 0x100 if a & 0x80 else a & 0xFF) & _MASK,
+    "zext8": lambda a: a & 0xFF,
+    "sext16": lambda a: ((a & 0xFFFF) - 0x10000 if a & 0x8000 else a & 0xFFFF) & _MASK,
+    "zext16": lambda a: a & 0xFFFF,
+}
+
+
 class VM:
     def __init__(self, program: MProgram, model: MachineModel = SPARC_10,
                  collector: Collector | None = None,
@@ -57,17 +133,41 @@ class VM:
         self.memory: Memory = self.gc.memory
         self.gc_interval = gc_interval
         self.max_instructions = max_instructions
+        # The register file dict is created once and mutated in place:
+        # the compiled closures capture it, and the collector's root
+        # provider reads it.
         self.regs: dict[str, int] = {}
         self.output: list[str] = []
         self.stdin = ""
         self._stdin_pos = 0
-        self.instructions = 0
-        self.cycles = 0
+        # [instructions, cycles] — shared mutable cell the compiled
+        # closures and execution loop update.
+        self._st = [0, 0]
         self._rand_state = 0x2545F491
 
         self._link(stack_size)
+        self._compile_all()
         self.gc.add_root_provider(self._register_roots)
         self.gc.add_range_provider(self._stack_and_static_ranges)
+
+    # Instruction/cycle counters live in ``_st`` for speed; expose the
+    # original attribute API.
+
+    @property
+    def instructions(self) -> int:
+        return self._st[0]
+
+    @instructions.setter
+    def instructions(self, value: int) -> None:
+        self._st[0] = value
+
+    @property
+    def cycles(self) -> int:
+        return self._st[1]
+
+    @cycles.setter
+    def cycles(self, value: int) -> None:
+        self._st[1] = value
 
     # -- linking -----------------------------------------------------------
 
@@ -117,25 +217,338 @@ class VM:
         yield RootRange(max(sp, self.stack_base), STACK_TOP, "stack")
         yield RootRange(STATIC_BASE, self.static_end, "static")
 
+    # -- instruction compilation -------------------------------------------
+
+    def _compile_all(self) -> None:
+        self._ops: dict[str, list] = {}
+        for name, insts in self.code.items():
+            self._ops[name] = self._compile_function(insts, self.labels[name])
+
+    def _compile_function(self, insts: list[MInst], labels: dict[str, int]) -> list:
+        """Translate an instruction list into a parallel list of
+        closures; closure i executes inst i and returns the next pc."""
+        regs = self.regs
+        st = self._st
+        mem = self.memory
+        pages = mem._pages
+        model = self.model
+        vm = self
+
+        def op_skip(pc):  # label / nop / keepsafe: zero cost
+            return pc + 1
+
+        def make_li(rd, val, cost):
+            def op(pc):
+                regs[rd] = val
+                st[1] += cost
+                return pc + 1
+            return op
+
+        def make_mov(rd, rs1, cost):
+            def op(pc):
+                regs[rd] = regs[rs1]
+                st[1] += cost
+                return pc + 1
+            return op
+
+        def make_undef_symbol(symbol):
+            def op(pc):
+                raise VMError(f"undefined symbol {symbol!r}")
+            return op
+
+        def make_add_ri(rd, rs1, imm, cost):
+            def op(pc):
+                regs[rd] = (regs[rs1] + imm) & _MASK
+                st[1] += cost
+                return pc + 1
+            return op
+
+        def make_add_rr(rd, rs1, rs2, cost):
+            def op(pc):
+                regs[rd] = (regs[rs1] + regs[rs2]) & _MASK
+                st[1] += cost
+                return pc + 1
+            return op
+
+        def make_sub_ri(rd, rs1, imm, cost):
+            def op(pc):
+                regs[rd] = (regs[rs1] - imm) & _MASK
+                st[1] += cost
+                return pc + 1
+            return op
+
+        def make_sub_rr(rd, rs1, rs2, cost):
+            def op(pc):
+                regs[rd] = (regs[rs1] - regs[rs2]) & _MASK
+                st[1] += cost
+                return pc + 1
+            return op
+
+        def make_alu_ri(fn, rd, rs1, imm, cost):
+            def op(pc):
+                regs[rd] = fn(regs[rs1], imm)
+                st[1] += cost
+                return pc + 1
+            return op
+
+        def make_alu_rr(fn, rd, rs1, rs2, cost):
+            def op(pc):
+                regs[rd] = fn(regs[rs1], regs[rs2])
+                st[1] += cost
+                return pc + 1
+            return op
+
+        def make_unary(fn, rd, rs1, cost):
+            def op(pc):
+                regs[rd] = fn(regs[rs1])
+                st[1] += cost
+                return pc + 1
+            return op
+
+        def make_ld_word(rd, rs1, rs2, imm, cost):
+            # The dominant load: aligned-in-page 4-byte word.  Falls
+            # back to Memory.load for page-crossing or unmapped access.
+            def op(pc):
+                a = (regs[rs1] + (regs[rs2] if rs2 else imm)) & _MASK
+                off = a & 0xFFF
+                page = pages.get(a >> 12)
+                if page is None or off > 0xFFC:
+                    try:
+                        v = mem.load(a, 4, False)
+                    except MemoryFault:
+                        raise VMError(f"load fault at 0x{a:08x}") from None
+                    regs[rd] = v & _MASK
+                else:
+                    regs[rd] = int.from_bytes(page[off:off + 4], "little")
+                st[1] += cost
+                return pc + 1
+            return op
+
+        def make_ld(rd, rs1, rs2, imm, width, signed, cost):
+            def op(pc):
+                a = (regs[rs1] + (regs[rs2] if rs2 else imm)) & _MASK
+                off = a & 0xFFF
+                page = pages.get(a >> 12)
+                if page is None or off + width > 0x1000:
+                    try:
+                        v = mem.load(a, width, signed)
+                    except MemoryFault:
+                        raise VMError(f"load fault at 0x{a:08x}") from None
+                    regs[rd] = v & _MASK
+                else:
+                    regs[rd] = int.from_bytes(
+                        page[off:off + width], "little", signed=signed) & _MASK
+                st[1] += cost
+                return pc + 1
+            return op
+
+        def make_st(rd, rs1, rs2, imm, width, cost):
+            nbytes = width
+            vmask = (1 << (8 * width)) - 1
+            def op(pc):
+                a = (regs[rs1] + (regs[rs2] if rs2 else imm)) & _MASK
+                off = a & 0xFFF
+                page = pages.get(a >> 12)
+                if page is None or off + nbytes > 0x1000:
+                    try:
+                        mem.store(a, regs[rd], nbytes)
+                    except MemoryFault:
+                        raise VMError(f"store fault at 0x{a:08x}") from None
+                else:
+                    page[off:off + nbytes] = (regs[rd] & vmask).to_bytes(nbytes, "little")
+                st[1] += cost
+                return pc + 1
+            return op
+
+        def make_jmp(target, cost):
+            def op(pc):
+                st[1] += cost
+                return target
+            return op
+
+        def make_bad_label(symbol):
+            def op(pc):
+                raise KeyError(symbol)  # matches the decode-loop behavior
+            return op
+
+        def make_bz(rs1, target, cost_not, cost_taken):
+            def op(pc):
+                if regs[rs1] == 0:
+                    st[1] += cost_taken
+                    return target
+                st[1] += cost_not
+                return pc + 1
+            return op
+
+        def make_bnz(rs1, target, cost_not, cost_taken):
+            def op(pc):
+                if regs[rs1] != 0:
+                    st[1] += cost_taken
+                    return target
+                st[1] += cost_not
+                return pc + 1
+            return op
+
+        def make_call_builtin(fn, cost):
+            a0, a1, a2, a3, a4, a5 = ARG_REGS
+            def op(pc):
+                st[1] += cost
+                value, extra = fn(vm, [regs[a0], regs[a1], regs[a2],
+                                       regs[a3], regs[a4], regs[a5]])
+                regs[RV] = value & _MASK
+                st[1] += extra
+                return pc + 1
+            return op
+
+        def make_call_compiled(name, cost):
+            # The callee may not be compiled yet (mutual recursion /
+            # forward reference); resolve once on first execution.
+            cell = []
+            def op(pc):
+                if not cell:
+                    target = vm._ops.get(name)
+                    if target is None:
+                        raise VMError(f"call to undefined function {name!r}")
+                    cell.append(target)
+                st[1] += cost
+                _exec_loop(vm, cell[0])
+                return pc + 1
+            return op
+
+        def make_callr(rs1, cost):
+            def op(pc):
+                fa = regs[rs1]
+                name = vm.addr_func.get(fa)
+                if name is None:
+                    raise VMError(f"indirect call to non-function address "
+                                  f"0x{fa:08x}")
+                builtin = BUILTINS.get(name)
+                st[1] += cost
+                if builtin is not None:
+                    value, extra = builtin(vm, [regs[r] for r in ARG_REGS])
+                    regs[RV] = value & _MASK
+                    st[1] += extra
+                else:
+                    target = vm._ops.get(name)
+                    if target is None:
+                        raise VMError(f"call to undefined function {name!r}")
+                    _exec_loop(vm, target)
+                return pc + 1
+            return op
+
+        def make_ret(cost):
+            def op(pc):
+                st[1] += cost
+                return _RET_PC
+            return op
+
+        ops: list = []
+        for inst in insts:
+            op = inst.op
+            cost = model.cycles_for(op)
+            if op == "label" or op == "nop" or op == "keepsafe":
+                ops.append(op_skip)
+            elif op == "li":
+                ops.append(make_li(inst.rd, (inst.imm or 0) & _MASK, cost))
+            elif op == "la":
+                addr = self.global_addr.get(inst.symbol)
+                if addr is None:
+                    addr = self.func_addr.get(inst.symbol)
+                if addr is None:
+                    ops.append(make_undef_symbol(inst.symbol))
+                else:
+                    ops.append(make_li(inst.rd, addr, cost))
+            elif op == "mov":
+                ops.append(make_mov(inst.rd, inst.rs1, cost))
+            elif op in ALU_OPS:
+                if inst.rs2 is not None:
+                    if op == "add":
+                        ops.append(make_add_rr(inst.rd, inst.rs1, inst.rs2, cost))
+                    elif op == "sub":
+                        ops.append(make_sub_rr(inst.rd, inst.rs1, inst.rs2, cost))
+                    else:
+                        ops.append(make_alu_rr(ALU_FUNCS[op], inst.rd,
+                                               inst.rs1, inst.rs2, cost))
+                else:
+                    imm = (inst.imm or 0) & _MASK
+                    if op == "add":
+                        ops.append(make_add_ri(inst.rd, inst.rs1, imm, cost))
+                    elif op == "sub":
+                        ops.append(make_sub_ri(inst.rd, inst.rs1, imm, cost))
+                    else:
+                        ops.append(make_alu_ri(ALU_FUNCS[op], inst.rd,
+                                               inst.rs1, imm, cost))
+            elif op in UNARY_OPS:
+                ops.append(make_unary(UNARY_FUNCS[op], inst.rd, inst.rs1, cost))
+            elif op == "ld":
+                if inst.width == 4:  # signedness is irrelevant under the 32-bit mask
+                    ops.append(make_ld_word(inst.rd, inst.rs1, inst.rs2,
+                                            inst.imm or 0, cost))
+                else:
+                    ops.append(make_ld(inst.rd, inst.rs1, inst.rs2,
+                                       inst.imm or 0, inst.width, inst.signed, cost))
+            elif op == "st":
+                ops.append(make_st(inst.rd, inst.rs1, inst.rs2,
+                                   inst.imm or 0, inst.width, cost))
+            elif op == "jmp":
+                # A taken branch resumes at the instruction *after* the
+                # label (the decode loop did pc = label; pc += 1).
+                target = labels.get(inst.symbol)
+                taken_cost = model.cycles_for(op, taken=True)
+                ops.append(make_jmp(target + 1, taken_cost) if target is not None
+                           else make_bad_label(inst.symbol))
+            elif op == "bz" or op == "bnz":
+                target = labels.get(inst.symbol)
+                if target is None:
+                    ops.append(make_bad_label(inst.symbol))
+                else:
+                    taken_cost = model.cycles_for(op, taken=True)
+                    maker = make_bz if op == "bz" else make_bnz
+                    ops.append(maker(inst.rs1, target + 1, cost, taken_cost))
+            elif op == "call":
+                builtin = BUILTINS.get(inst.symbol)
+                if builtin is not None:
+                    ops.append(make_call_builtin(builtin, cost))
+                else:
+                    ops.append(make_call_compiled(inst.symbol, cost))
+            elif op == "callr":
+                ops.append(make_callr(inst.rs1, cost))
+            elif op == "ret":
+                ops.append(make_ret(cost))
+            else:
+                raise VMError(f"cannot execute {op!r}")
+        return ops
+
     # -- execution ------------------------------------------------------------
 
     def run(self, entry: str = "main", args: tuple[int, ...] = ()) -> RunResult:
-        self.regs = {SP: STACK_TOP - 64, FP: STACK_TOP - 64, RV: 0}
+        # Compiled closures (and root providers) hold a reference to the
+        # register dict: reset it in place.
+        # Python recursion mirrors the C call stack; leave generous
+        # headroom for deeply recursive workloads.
+        limit = sys.getrecursionlimit()
+        if limit < 20000:
+            sys.setrecursionlimit(20000)
+        regs = self.regs
+        regs.clear()
+        regs[SP] = STACK_TOP - 64
+        regs[FP] = STACK_TOP - 64
+        regs[RV] = 0
         for reg in ARG_REGS + SCRATCH:
-            self.regs[reg] = 0
+            regs[reg] = 0
         for i in range(16):  # allocatable pools (model-sized subsets used)
-            self.regs[f"t{i}"] = 0
-            self.regs[f"s{i}"] = 0
+            regs[f"t{i}"] = 0
+            regs[f"s{i}"] = 0
         for i, a in enumerate(args):
-            self.regs[ARG_REGS[i]] = a & _MASK
+            regs[ARG_REGS[i]] = a & _MASK
         start_checks = self.gc.stats.checks_performed
         start_colls = self.gc.stats.collections
         try:
             self._call(entry)
-            code = _signed(self.regs[RV])
+            code = _signed(regs[RV])
         except ExitProgram as ex:
             code = ex.code
-        return RunResult(code, self.instructions, self.cycles,
+        return RunResult(code, self._st[0], self._st[1],
                          "".join(self.output),
                          self.gc.stats.collections - start_colls,
                          self.gc.stats.checks_performed - start_checks)
@@ -147,76 +560,10 @@ class VM:
         if builtin is not None:
             self._run_builtin(name, builtin)
             return
-        insts = self.code.get(name)
-        if insts is None:
+        ops = self._ops.get(name)
+        if ops is None:
             raise VMError(f"call to undefined function {name!r}")
-        labels = self.labels[name]
-        regs = self.regs
-        model = self.model
-        pc = 0
-        n = len(insts)
-        while pc < n:
-            inst = insts[pc]
-            op = inst.op
-            self.instructions += 1
-            if self.instructions > self.max_instructions:
-                raise VMError("instruction budget exceeded (runaway program?)")
-            if self.gc_interval and self.instructions % self.gc_interval == 0:
-                self.gc.collect()
-            taken = False
-            if op == "label" or op == "nop" or op == "keepsafe":
-                pass
-            elif op == "li":
-                regs[inst.rd] = (inst.imm or 0) & _MASK
-            elif op == "la":
-                regs[inst.rd] = self._symbol_addr(inst.symbol)
-            elif op == "mov":
-                regs[inst.rd] = regs[inst.rs1]
-            elif op in ALU_OPS:
-                a = regs[inst.rs1]
-                b = regs[inst.rs2] if inst.rs2 is not None else (inst.imm or 0)
-                regs[inst.rd] = _alu(op, a, b)
-            elif op in UNARY_OPS:
-                regs[inst.rd] = _unary(op, regs[inst.rs1])
-            elif op == "ld":
-                addr = regs[inst.rs1] + (regs[inst.rs2] if inst.rs2 else (inst.imm or 0))
-                regs[inst.rd] = self._load(addr & _MASK, inst.width, inst.signed)
-            elif op == "st":
-                addr = regs[inst.rs1] + (regs[inst.rs2] if inst.rs2 else (inst.imm or 0))
-                self._store(addr & _MASK, regs[inst.rd], inst.width)
-            elif op == "jmp":
-                pc = labels[inst.symbol]
-                taken = True
-            elif op == "bz":
-                if regs[inst.rs1] == 0:
-                    pc = labels[inst.symbol]
-                    taken = True
-            elif op == "bnz":
-                if regs[inst.rs1] != 0:
-                    pc = labels[inst.symbol]
-                    taken = True
-            elif op == "call":
-                self.cycles += model.cycles_for(op)
-                self._call(inst.symbol)
-                pc += 1
-                continue
-            elif op == "callr":
-                target = self.addr_func.get(regs[inst.rs1])
-                if target is None:
-                    raise VMError(f"indirect call to non-function address "
-                                  f"0x{regs[inst.rs1]:08x}")
-                self.cycles += model.cycles_for(op)
-                self._call(target)
-                pc += 1
-                continue
-            elif op == "ret":
-                self.cycles += model.cycles_for(op)
-                return
-            else:
-                raise VMError(f"cannot execute {op!r}")
-            self.cycles += model.cycles_for(op, taken)
-            pc += 1
-        # Fell off the end: treat as return.
+        _exec_loop(self, ops)
 
     def _symbol_addr(self, symbol: str) -> int:
         addr = self.global_addr.get(symbol)
@@ -245,7 +592,7 @@ class VM:
         args = [self.regs[r] for r in ARG_REGS]
         value, extra_cycles = fn(self, args)
         self.regs[RV] = value & _MASK
-        self.cycles += extra_cycles
+        self._st[1] += extra_cycles
 
     # I/O helpers used by builtins.
 
@@ -260,26 +607,40 @@ class VM:
         return ord(ch) & 0xFF
 
 
+def _exec_loop(vm: VM, ops: list) -> None:
+    """The interpreter inner loop: run one compiled function until it
+    returns.  Instruction counting, the instruction budget, and the
+    asynchronous-collection trigger live here so every closure stays
+    minimal; the accounting matches the original decode loop exactly
+    (count first, then collect, then execute)."""
+    st = vm._st
+    n = len(ops)
+    pc = 0
+    budget = vm.max_instructions
+    interval = vm.gc_interval
+    if interval:
+        collect = vm.gc.collect
+        while pc < n:
+            ic = st[0] + 1
+            st[0] = ic
+            if ic > budget:
+                raise VMError("instruction budget exceeded (runaway program?)")
+            if not ic % interval:
+                collect()
+            pc = ops[pc](pc)
+    else:
+        while pc < n:
+            ic = st[0] + 1
+            st[0] = ic
+            if ic > budget:
+                raise VMError("instruction budget exceeded (runaway program?)")
+            pc = ops[pc](pc)
+    # Fell off the end (or hit ret): treat as return.
+
+
 def _signed(x: int) -> int:
     x &= _MASK
     return x - (1 << 32) if x >= 1 << 31 else x
-
-
-def _alu(op: str, a: int, b: int) -> int:
-    from .opt.local import eval_bin
-    mapping = {"seq": "eq", "sne": "ne", "slt": "lt", "sle": "le",
-               "sgt": "gt", "sge": "ge", "sltu": "ult", "sleu": "ule",
-               "sgtu": "ugt", "sgeu": "uge", "srl": "shru"}
-    sub = mapping.get(op, op)
-    result = eval_bin(sub, a & _MASK, b & _MASK)
-    if result is None:  # division by zero
-        raise VMError(f"integer division by zero in {op}")
-    return result & _MASK
-
-
-def _unary(op: str, a: int) -> int:
-    from .opt.local import eval_un
-    return eval_un(op, a & _MASK) & _MASK
 
 
 # ---------------------------------------------------------------------------
