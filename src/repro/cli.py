@@ -6,7 +6,7 @@
     python -m repro check file.c
         Source-safety diagnostics only.
 
-    python -m repro cc [--config O|O_safe|g|g_checked] [--model ss2|ss10|p90]
+    python -m repro cc [--config O0|O|O_safe|g|g_checked] [--model ss2|ss10|p90]
                        [--postproc] [--gc-interval N] [--stdin FILE]
                        [--dump-asm] file.c
         Compile and execute on the simulated machine; print the program
@@ -133,7 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("cc", help="compile and run on the simulated machine")
     p.add_argument("file")
-    p.add_argument("--config", choices=("O", "O_safe", "g", "g_checked"),
+    p.add_argument("--config", choices=("O0", "O", "O_safe", "g", "g_checked"),
                    default="O")
     p.add_argument("--model", choices=tuple(MODELS), default="ss10")
     p.add_argument("--postproc", action="store_true")

@@ -1,0 +1,111 @@
+"""Campaign orchestration: generate → oracle → (reduce) → persist.
+
+A campaign is deterministic given ``--seed``: iteration ``k`` fuzzes the
+program ``generate_program(seed + k)``, so any finding can be reproduced
+in isolation from its iteration number alone.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .gen import GenOptions, generate_program
+from .oracle import OracleReport, check_program, mismatch_predicate
+from .reduce import ReduceStats, reduce_source
+
+
+@dataclass
+class Finding:
+    seed: int
+    iteration: int
+    source: str
+    report: OracleReport
+    reduced: str | None = None
+    reduce_stats: ReduceStats | None = None
+
+    def describe(self) -> str:
+        head = f"seed={self.seed} iteration={self.iteration}"
+        body = self.report.describe()
+        if self.reduced is not None:
+            body += (f"\nreduced {self.reduce_stats.lines_before} -> "
+                     f"{self.reduce_stats.lines_after} lines "
+                     f"({self.reduce_stats.tests} oracle tests)")
+        return f"{head}\n{body}"
+
+
+@dataclass
+class CampaignResult:
+    seed: int
+    iterations: int = 0
+    cells: int = 0
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _persist(out_dir: str, finding: Finding) -> None:
+    os.makedirs(out_dir, exist_ok=True)
+    stem = os.path.join(out_dir, f"finding-{finding.seed}-{finding.iteration}")
+    with open(stem + ".c", "w") as fh:
+        fh.write(finding.source)
+    if finding.reduced is not None:
+        with open(stem + ".min.c", "w") as fh:
+            fh.write(finding.reduced)
+    with open(stem + ".txt", "w") as fh:
+        fh.write(finding.describe() + "\n")
+
+
+def run_campaign(seed: int, iters: int,
+                 models: tuple[str, ...] = ("ss10", "ss2", "p90"),
+                 adv_interval: int = 1,
+                 reduce: bool = False,
+                 out_dir: str | None = None,
+                 stop_after: int | None = 1,
+                 gen_options: GenOptions | None = None,
+                 max_instructions: int = 5_000_000,
+                 log: Callable[[str], None] | None = None,
+                 progress_every: int = 50) -> CampaignResult:
+    """Fuzz ``iters`` programs; return every differential finding.
+
+    ``stop_after=N`` stops the campaign after N findings (None: never) —
+    the default stops at the first, since under a healthy toolchain a
+    finding means a compiler/GC bug that deserves attention before more
+    churn.
+    """
+    log = log or (lambda msg: None)
+    result = CampaignResult(seed=seed)
+    for k in range(iters):
+        program_seed = seed + k
+        source = generate_program(program_seed, gen_options)
+        report = check_program(source, models=models,
+                               adv_interval=adv_interval,
+                               max_instructions=max_instructions)
+        result.iterations += 1
+        result.cells += report.runs
+        if not report.ok:
+            finding = Finding(seed=program_seed, iteration=k,
+                              source=source, report=report)
+            if reduce:
+                signature = report.mismatches[0].signature()
+                pred = mismatch_predicate(signature,
+                                          max_instructions=max_instructions,
+                                          adv_interval=adv_interval)
+                stats = ReduceStats()
+                finding.reduced = reduce_source(source, pred, stats=stats)
+                finding.reduce_stats = stats
+            result.findings.append(finding)
+            if out_dir:
+                _persist(out_dir, finding)
+            log(f"[{k + 1}/{iters}] MISMATCH (program seed {program_seed}):")
+            for line in finding.describe().splitlines():
+                log("    " + line)
+            if stop_after is not None and len(result.findings) >= stop_after:
+                break
+        elif progress_every and (k + 1) % progress_every == 0:
+            log(f"[{k + 1}/{iters}] ok — {result.cells} cells checked, "
+                f"0 mismatches")
+    return result

@@ -1,0 +1,119 @@
+"""``python -m repro.fuzz`` — run a differential fuzzing campaign.
+
+    python -m repro.fuzz --seed 0 --iters 500
+        Fuzz 500 generated programs through the five-config oracle
+        (exit status 1 if any differential mismatch was found).
+
+    python -m repro.fuzz --seed 0 --iters 500 --reduce --out findings/
+        Same, but delta-debug every finding to a minimal reproducer and
+        write <source, minimized, report> files under findings/.
+
+    python -m repro.fuzz --replay prog.c
+        Run one existing program through the full oracle (for triage).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..machine.models import MODELS
+from .campaign import run_campaign
+from .gen import GenOptions
+from .oracle import check_program, mismatch_predicate
+from .reduce import ReduceStats, reduce_source
+
+
+def _parse_models(text: str) -> tuple[str, ...]:
+    models = tuple(m.strip() for m in text.split(",") if m.strip())
+    for m in models:
+        if m not in MODELS:
+            raise argparse.ArgumentTypeError(
+                f"unknown model {m!r} (expected from {tuple(MODELS)})")
+    return models
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzzing: five build configs x machine "
+                    "models must agree; GC-safe configs must survive an "
+                    "adversarial collector (gc_interval=1, poisoning).")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed; iteration k fuzzes program seed+k")
+    p.add_argument("--iters", type=int, default=100,
+                   help="number of generated programs to check")
+    p.add_argument("--models", type=_parse_models, default=("ss10", "ss2", "p90"),
+                   help="comma-separated machine models (default: all three)")
+    p.add_argument("--adv-interval", type=int, default=1,
+                   help="adversarial collection interval in instructions")
+    p.add_argument("--reduce", action="store_true",
+                   help="delta-debug each finding to a minimal reproducer")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="write finding artifacts (source/minimized/report)")
+    p.add_argument("--keep-going", action="store_true",
+                   help="do not stop at the first finding")
+    p.add_argument("--max-statements", type=int, default=None,
+                   help="cap generated statements per program")
+    p.add_argument("--max-instructions", type=int, default=5_000_000)
+    p.add_argument("--replay", metavar="FILE", default=None,
+                   help="oracle-check one existing .c file and exit")
+    p.add_argument("--rebreak-addrfold", action="store_true",
+                   help="TEST ONLY: reintroduce the PR 1 addrfold aliasing "
+                        "bug to validate the oracle/reducer pipeline")
+    p.add_argument("--quiet", action="store_true")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    log = (lambda msg: None) if args.quiet else (lambda msg: print(msg, flush=True))
+
+    def execute() -> int:
+        if args.replay:
+            with open(args.replay) as fh:
+                source = fh.read()
+            report = check_program(source, models=args.models,
+                                   adv_interval=args.adv_interval,
+                                   max_instructions=args.max_instructions)
+            print(report.describe())
+            if not report.ok and args.reduce:
+                stats = ReduceStats()
+                pred = mismatch_predicate(
+                    report.mismatches[0].signature(),
+                    max_instructions=args.max_instructions,
+                    adv_interval=args.adv_interval)
+                minimized = reduce_source(source, pred, stats=stats)
+                print(f"--- minimized {stats.lines_before} -> "
+                      f"{stats.lines_after} lines ({stats.tests} tests) ---")
+                print(minimized, end="")
+            return 0 if report.ok else 1
+
+        gen_options = GenOptions()
+        if args.max_statements is not None:
+            gen_options.max_statements = args.max_statements
+            gen_options.min_statements = min(gen_options.min_statements,
+                                             args.max_statements)
+        result = run_campaign(
+            seed=args.seed, iters=args.iters, models=args.models,
+            adv_interval=args.adv_interval, reduce=args.reduce,
+            out_dir=args.out, gen_options=gen_options,
+            stop_after=None if args.keep_going else 1,
+            max_instructions=args.max_instructions, log=log)
+        verdict = ("zero differential mismatches"
+                   if result.ok else f"{len(result.findings)} finding(s)")
+        log(f"checked {result.iterations} programs "
+            f"({result.cells} oracle cells): {verdict}")
+        return 0 if result.ok else 1
+
+    if args.rebreak_addrfold:
+        from .brokenpass import rebroken_addrfold
+        log("WARNING: running with the addrfold aliasing bug re-broken "
+            "(test-only mode)")
+        with rebroken_addrfold():
+            return execute()
+    return execute()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

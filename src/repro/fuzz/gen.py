@@ -1,0 +1,270 @@
+"""Seeded structured C program generator.
+
+Much richer than the hypothesis toy in
+``tests/test_integration/test_random_programs.py``: programs use structs
+with linked-list chains, nested (2-D) arrays, global arrays, helper
+functions, pointer casts, interior pointers, allocation churn, and —
+deliberately — the disguise-prone address arithmetic shapes the paper
+opens with (``p[i - C]`` reassociation bait and the ``x + (x - c)``
+in-place aliasing shape from the PR 1 addrfold miscompile).
+
+Every program is defined-behavior by construction:
+
+* all array indices are in-bounds by construction (the generator tracks
+  object extents and only emits accesses inside them);
+* every variable is initialized before use;
+* arithmetic that could overflow is masked at the point of storage
+  (``& 0xFFFF`` / ``& 0xFF``) — and the simulated machine is a fixed
+  32-bit two's-complement target whose optimizer folds with the exact
+  VM semantics, so even intermediate wraparound is consistent;
+* division/modulo never see a zero divisor (the generator only divides
+  by non-zero constants);
+* pointers stay inside their objects at the *source* level — the whole
+  point is that only the optimizer manufactures out-of-object pointers.
+
+Each statement (including compound ones) is emitted on a single source
+line so the delta-debugging reducer can work at statement granularity.
+
+Programs print their checksum(s) with ``printf`` and return a masked
+checksum as the exit code, giving the oracle three observables: exit
+code, output text, and checksum.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class GenOptions:
+    """Tuning knobs for one generated program."""
+
+    min_statements: int = 6
+    max_statements: int = 18
+    max_array_len: int = 48
+    min_array_len: int = 16
+    max_helpers: int = 2
+    list_len_max: int = 4
+
+
+class _Gen:
+    def __init__(self, seed: int, options: GenOptions):
+        self.rng = random.Random(seed)
+        self.opt = options
+        self.na = self.rng.randint(options.min_array_len,
+                                   options.max_array_len)
+        self.ng = self.rng.randint(8, 16)           # global array length
+        self.rows = self.rng.randint(2, 4)          # stk[rows][cols]
+        self.cols = self.rng.randint(2, 4)
+        self.pad = self.rng.randint(2, 5)           # struct S pad[] length
+        self.list_len = self.rng.randint(2, options.list_len_max)
+        self.n_helpers = self.rng.randint(0, options.max_helpers)
+        self.use_struct = self.rng.random() < 0.9
+
+    # -- small expression grammar ------------------------------------------
+
+    def idx(self) -> int:
+        return self.rng.randint(0, self.na - 1)
+
+    def expr(self, depth: int = 2) -> str:
+        """An int-valued expression over initialized names; the caller
+        masks it before storing."""
+        r = self.rng
+        if depth == 0 or r.random() < 0.4:
+            return r.choice(["x", "acc", str(r.randint(0, 99)),
+                             f"a[{self.idx()}]", f"g0[{r.randint(0, self.ng - 1)}]"])
+        op = r.choice(["+", "-", "*", "+", "-"])
+        return f"({self.expr(depth - 1)} {op} {self.expr(depth - 1)})"
+
+    # -- statement kinds ----------------------------------------------------
+
+    def st_acc_load(self) -> str:
+        return f"acc = (acc + a[{self.idx()}]) & 0xFFFF;"
+
+    def st_store(self) -> str:
+        return f"a[{self.idx()}] = ({self.expr()}) & 0xFF;"
+
+    def st_global(self) -> str:
+        gi = self.rng.randint(0, self.ng - 1)
+        if self.rng.random() < 0.5:
+            return f"g0[{gi}] = ({self.expr()}) & 0xFF;"
+        return f"acc = (acc + g0[{gi}]) & 0xFFFF;"
+
+    def st_loop_sum(self) -> str:
+        n = self.rng.randint(2, self.na)
+        c = self.rng.randint(1, 9)
+        return (f"for (j = 0; j < {n}; j++) "
+                f"acc = (acc + a[j] * {c}) & 0xFFFF;")
+
+    def st_interior(self) -> str:
+        off = self.rng.randint(1, self.na - 1)
+        k = self.rng.randint(-off, self.na - 1 - off)
+        return (f"{{ int *p = a + {off}; "
+                f"acc = (acc + p[{k}]) & 0xFFFF; }}")
+
+    def st_disguise_sub(self) -> str:
+        """The paper's motivating shape: an index expression ``x - C``
+        whose reassociation manufactures a below-object pointer."""
+        c = self.rng.randint(8, min(self.na - 1, 30))
+        target = self.rng.randint(c, self.na - 1)
+        return (f"{{ x = {target}; "
+                f"acc = (acc + a[x - {c}]) & 0xFFFF; }}")
+
+    def st_alias_add(self) -> str:
+        """PR 1's addrfold miscompile shape: ``x + (x - c)`` where the
+        in-place rewrite would clobber the base register."""
+        c = self.rng.randint(100, 5000)
+        return (f"{{ x = a[{self.idx()}]; "
+                f"acc = (acc + (x + (x - {c}))) & 0xFFFF; }}")
+
+    def st_churn(self) -> str:
+        sz = self.rng.randint(4, 24)
+        m = self.rng.randint(1, 9)
+        return (f"{{ b = (int *)GC_malloc({sz} * sizeof(int)); "
+                f"for (j = 0; j < {sz}; j++) b[j] = (j * {m} + acc) & 0xFF; "
+                f"acc = (acc + b[{self.rng.randint(0, sz - 1)}]) & 0xFFFF; }}")
+
+    def st_pure_churn(self) -> str:
+        return f"GC_malloc({self.rng.randint(8, 96)});"
+
+    def st_byte_view(self) -> str:
+        bi = self.rng.randint(0, 4 * self.na - 1)
+        return f"acc = (acc + cp[{bi}]) & 0xFFFF;"
+
+    def st_cast_roundtrip(self) -> str:
+        off = self.rng.randint(1, self.na - 1)
+        k = self.rng.randint(-off, self.na - 1 - off)
+        return (f"{{ char *q = (char *)(a + {off}); int *r = (int *)q; "
+                f"acc = (acc + r[{k}]) & 0xFFFF; }}")
+
+    def st_ptr_walk(self) -> str:
+        steps = self.rng.randint(1, self.na - 1)
+        return (f"{{ int *p = a; for (j = 0; j < {steps}; j++) p++; "
+                f"acc = (acc + *p) & 0xFFFF; }}")
+
+    def st_stk2d(self) -> str:
+        r = self.rng.randint(0, self.rows - 1)
+        c = self.rng.randint(0, self.cols - 1)
+        if self.rng.random() < 0.5:
+            return f"stk[{r}][{c}] = ({self.expr()}) & 0xFF;"
+        return f"acc = (acc + stk[{r}][{c}]) & 0xFFFF;"
+
+    def st_struct_walk(self) -> str:
+        return ("{ struct S *s = head; while (s) { "
+                "acc = (acc + s->val) & 0xFFFF; s = s->next; } }")
+
+    def st_struct_store(self) -> str:
+        node = self.rng.choice(["head", "head->next"])
+        field = self.rng.choice(
+            ["val", f"pad[{self.rng.randint(0, self.pad - 1)}]"])
+        return f"{node}->{field} = ({self.expr()}) & 0xFF;"
+
+    def st_call(self) -> str:
+        which = self.rng.randint(0, self.n_helpers - 1)
+        off = self.rng.randint(0, self.na - 2)
+        ln = self.rng.randint(1, self.na - off)
+        return f"acc = (acc + hf{which}(a + {off}, {ln})) & 0xFFFF;"
+
+    def st_struct_call(self) -> str:
+        return "acc = (acc + sf0(head)) & 0xFFFF;"
+
+    def st_cond(self) -> str:
+        i1, i2 = self.idx(), self.idx()
+        return (f"if (({self.expr(1)}) > {self.rng.randint(0, 200)}) "
+                f"acc = (acc + a[{i1}]) & 0xFFFF; "
+                f"else acc = (acc + a[{i2}] + 1) & 0xFFFF;")
+
+    # -- program assembly ---------------------------------------------------
+
+    def statement(self) -> str:
+        kinds = [
+            (self.st_acc_load, 3), (self.st_store, 3), (self.st_global, 2),
+            (self.st_loop_sum, 2), (self.st_interior, 3),
+            (self.st_disguise_sub, 3), (self.st_alias_add, 2),
+            (self.st_churn, 2), (self.st_pure_churn, 1),
+            (self.st_byte_view, 2), (self.st_cast_roundtrip, 2),
+            (self.st_ptr_walk, 2), (self.st_stk2d, 2), (self.st_cond, 2),
+        ]
+        if self.use_struct:
+            kinds += [(self.st_struct_walk, 2), (self.st_struct_store, 2),
+                      (self.st_struct_call, 1)]
+        if self.n_helpers:
+            kinds += [(self.st_call, 2)]
+        fns = [fn for fn, w in kinds for _ in range(w)]
+        return self.rng.choice(fns)()
+
+    def helper(self, n: int) -> list[str]:
+        c1 = self.rng.randint(1, 9)
+        c2 = self.rng.randint(1, 7)
+        return [
+            f"int hf{n}(int *p, int n) {{",
+            "    int j, s = 0;",
+            f"    for (j = 0; j < n; j++) s = (s + p[j] * {c1}) & 0xFFFF;",
+            f"    if (n > {c2}) s = (s + p[n - {c2}]) & 0xFFFF;",
+            "    return s;",
+            "}",
+        ]
+
+    def struct_helper(self) -> list[str]:
+        pi = self.rng.randint(0, self.pad - 1)
+        return [
+            "int sf0(struct S *s) {",
+            "    int t = 0;",
+            f"    while (s) {{ t = (t + s->val + s->pad[{pi}]) & 0xFFFF; "
+            "s = s->next; }",
+            "    return t;",
+            "}",
+        ]
+
+    def generate(self) -> str:
+        r = self.rng
+        lines: list[str] = []
+        if self.use_struct:
+            lines.append(f"struct S {{ int val; int pad[{self.pad}]; "
+                         "struct S *next; };")
+        lines.append(f"int g0[{self.ng}];")
+        for h in range(self.n_helpers):
+            lines += self.helper(h)
+        if self.use_struct:
+            lines += self.struct_helper()
+        lines.append("int main(void) {")
+        lines.append(f"    int stk[{self.rows}][{self.cols}];")
+        lines.append("    int *a; int *b; char *cp;")
+        if self.use_struct:
+            lines.append("    struct S *head; struct S *tail;")
+        lines.append("    int i, j, x, acc;")
+        lines.append(f"    a = (int *)GC_malloc({self.na} * sizeof(int));")
+        m1, a1 = r.randint(1, 9), r.randint(0, 99)
+        lines.append(f"    for (i = 0; i < {self.na}; i++) "
+                     f"a[i] = (i * {m1} + {a1}) & 0xFF;")
+        lines.append(f"    for (i = 0; i < {self.ng}; i++) "
+                     f"g0[i] = (i * {r.randint(1, 9)} + {r.randint(0, 50)}) & 0xFF;")
+        lines.append(f"    for (i = 0; i < {self.rows}; i++) "
+                     f"for (j = 0; j < {self.cols}; j++) "
+                     f"stk[i][j] = (i * {self.cols} + j + {r.randint(0, 30)}) & 0xFF;")
+        lines.append("    b = a; cp = (char *)a;")
+        lines.append(f"    x = {r.randint(0, self.na - 1)}; "
+                     f"acc = {r.randint(0, 255)};")
+        if self.use_struct:
+            lines.append("    head = (struct S *)GC_malloc(sizeof(struct S));")
+            lines.append(f"    head->val = {r.randint(1, 99)}; tail = head;")
+            for n in range(1, self.list_len):
+                lines.append("    tail->next = (struct S *)GC_malloc(sizeof(struct S));")
+                lines.append(f"    tail = tail->next; tail->val = {r.randint(1, 99)};")
+            lines.append("    tail->next = 0;")
+            pi = r.randint(0, self.pad - 1)
+            lines.append("    { struct S *s = head; while (s) { "
+                         f"s->pad[{pi}] = {r.randint(0, 99)}; s = s->next; }} }}")
+        n_st = r.randint(self.opt.min_statements, self.opt.max_statements)
+        for _ in range(n_st):
+            lines.append("    " + self.statement())
+        lines.append('    printf("%d %d\\n", acc, x);')
+        lines.append("    return (acc + x) & 0xFF;")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def generate_program(seed: int, options: GenOptions | None = None) -> str:
+    """Generate one deterministic, defined-behavior C program."""
+    return _Gen(seed, options or GenOptions()).generate()

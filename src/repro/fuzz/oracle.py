@@ -1,0 +1,197 @@
+"""The five-config differential oracle.
+
+For one source program:
+
+1. compile under every config in :data:`ALL_CONFIGS` for every requested
+   machine model and run normally — all fifteen cells must produce the
+   same exit code, output text, and checksum(s) (generated programs
+   print their checksums, so "output" subsumes them);
+2. re-run the GC-safe configs (:data:`ADVERSARIAL_CONFIGS`) under the
+   adversarial collector — a collection every ``adv_interval``
+   instructions with reclaimed objects poisoned — and require the same
+   observables again.
+
+The unsafe ``O`` build is deliberately *excluded* from step 2: the
+paper's thesis is precisely that an optimizing build without KEEP_LIVE
+may die under adversarial collections (see
+``tests/test_integration/test_disguise.py``), so "survives gc_interval=1"
+is only a correctness requirement for the other four columns.  ``O0``
+participates because an empty pass pipeline never manufactures
+out-of-object pointers, and source-level interior pointers are valid
+roots for the collector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfront.errors import CFrontError
+from ..gc.collector import Collector, GCCheckError
+from ..gc.memory import MemoryFault
+from ..machine.driver import CompileConfig, CONFIGS, compile_source
+from ..machine.models import MODELS
+from ..machine.vm import VM, VMError
+
+ALL_CONFIGS = CONFIGS  # ("O0", "O", "O_safe", "g", "g_checked")
+# Configs that must additionally survive the adversarial collector.
+ADVERSARIAL_CONFIGS = ("O0", "O_safe", "g", "g_checked")
+# The reference cell: unoptimized, fully debuggable — the paper's
+# "obviously correct" column.
+REFERENCE_CONFIG = "g"
+
+DEFAULT_MODELS = ("ss10", "ss2", "p90")
+POISON_BYTE = 0xDD
+
+
+@dataclass
+class Outcome:
+    """Observable result of one (config, model, gc-mode) cell."""
+
+    status: str  # "ok" | "fault" | "check" | "compile-error"
+    exit_code: int | None = None
+    output: str = ""
+    detail: str = ""
+    collections: int = 0
+
+    def key(self) -> tuple:
+        """What two cells must agree on (never timing counters)."""
+        return (self.status, self.exit_code, self.output)
+
+    def describe(self) -> str:
+        if self.status == "ok":
+            return f"exit={self.exit_code} output={self.output!r}"
+        return f"{self.status}: {self.detail}"
+
+
+@dataclass
+class Mismatch:
+    kind: str       # "plain" | "adversarial" | "reference"
+    config: str
+    model: str
+    expected: str
+    actual: str
+
+    def signature(self) -> tuple[str, str, str]:
+        return (self.kind, self.config, self.model)
+
+    def describe(self) -> str:
+        return (f"[{self.kind}] {self.config}/{self.model}: "
+                f"expected {self.expected}, got {self.actual}")
+
+
+@dataclass
+class OracleReport:
+    mismatches: list[Mismatch] = field(default_factory=list)
+    runs: int = 0
+    reference: Outcome | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"ok ({self.runs} cells agree)"
+        return "\n".join(m.describe() for m in self.mismatches)
+
+
+def compile_and_run(source: str, config_name: str, model_name: str = "ss10",
+                    gc_interval: int = 0, poison: bool = True,
+                    max_instructions: int = 5_000_000) -> Outcome:
+    """Compile + execute one cell, folding every failure mode into an
+    :class:`Outcome` so cells are always comparable."""
+    model = MODELS[model_name]
+    try:
+        compiled = compile_source(source, CompileConfig.named(config_name, model))
+    except CFrontError as exc:
+        return Outcome("compile-error", detail=str(exc))
+    gc = Collector()
+    if poison:
+        gc.heap.poison_byte = POISON_BYTE
+    vm = VM(compiled.asm, model, collector=gc, gc_interval=gc_interval,
+            max_instructions=max_instructions)
+    try:
+        result = vm.run()
+    except GCCheckError as exc:
+        return Outcome("check", detail=str(exc))
+    except (VMError, MemoryFault) as exc:
+        return Outcome("fault", detail=str(exc))
+    return Outcome("ok", result.exit_code, result.output,
+                   collections=result.collections)
+
+
+def check_program(source: str, models: tuple[str, ...] = DEFAULT_MODELS,
+                  adv_interval: int = 1,
+                  adv_models: tuple[str, ...] | None = None,
+                  max_instructions: int = 5_000_000) -> OracleReport:
+    """Run the full differential matrix over one program.
+
+    ``models`` drives the plain (no forced collections) agreement check
+    for all five configs; ``adv_models`` (default: the first model)
+    drives the adversarial re-run of the GC-safe configs.
+    """
+    report = OracleReport()
+    primary = models[0]
+    ref = compile_and_run(source, REFERENCE_CONFIG, primary,
+                          max_instructions=max_instructions)
+    report.reference = ref
+    report.runs += 1
+    if ref.status != "ok":
+        report.mismatches.append(Mismatch(
+            "reference", REFERENCE_CONFIG, primary,
+            "a runnable program", ref.describe()))
+        return report
+    for model in models:
+        for config in ALL_CONFIGS:
+            if config == REFERENCE_CONFIG and model == primary:
+                continue  # that cell *is* the reference
+            out = compile_and_run(source, config, model,
+                                  max_instructions=max_instructions)
+            report.runs += 1
+            if out.key() != ref.key():
+                report.mismatches.append(Mismatch(
+                    "plain", config, model, ref.describe(), out.describe()))
+    for model in (adv_models or (primary,)):
+        for config in ADVERSARIAL_CONFIGS:
+            out = compile_and_run(source, config, model,
+                                  gc_interval=adv_interval, poison=True,
+                                  max_instructions=max_instructions)
+            report.runs += 1
+            if out.key() != ref.key():
+                report.mismatches.append(Mismatch(
+                    "adversarial", config, model, ref.describe(),
+                    out.describe()))
+    return report
+
+
+def mismatch_predicate(signature: tuple[str, str, str] | None = None,
+                       max_instructions: int = 5_000_000,
+                       adv_interval: int = 1):
+    """Build a reducer predicate: "does this source still mismatch?"
+
+    With a ``signature`` (kind, config, model) from an original finding,
+    the predicate re-checks only that cell against the reference — two
+    compiles instead of the full matrix — and demands the *same* cell
+    still disagrees, so reduction cannot wander onto a different bug.
+    Sources that no longer compile simply fail the predicate.
+    """
+    if signature is None:
+        def pred_full(source: str) -> bool:
+            return not check_program(
+                source, max_instructions=max_instructions,
+                adv_interval=adv_interval).ok
+        return pred_full
+
+    kind, config, model = signature
+
+    def pred(source: str) -> bool:
+        ref = compile_and_run(source, REFERENCE_CONFIG, model,
+                              max_instructions=max_instructions)
+        if ref.status != "ok":
+            return kind == "reference"
+        gc_interval = adv_interval if kind == "adversarial" else 0
+        out = compile_and_run(source, config, model, gc_interval=gc_interval,
+                              poison=True, max_instructions=max_instructions)
+        return out.key() != ref.key()
+
+    return pred

@@ -1,0 +1,90 @@
+"""Delta-debugging reducer: shrink a mismatching program to a minimal
+reproducer.
+
+Classic ddmin (Zeller & Hildebrandt) over source *lines*, followed by a
+single-line elimination polish to a fixpoint.  The generator emits one
+statement per line precisely so that line granularity equals statement
+granularity; candidates that no longer parse/typecheck simply fail the
+predicate (the oracle folds ``compile-error`` into the comparison), so
+the reducer needs no C-specific knowledge beyond that.
+
+The predicate receives candidate source text and returns True iff the
+original mismatch still reproduces (see
+:func:`repro.fuzz.oracle.mismatch_predicate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass
+class ReduceStats:
+    tests: int = 0
+    lines_before: int = 0
+    lines_after: int = 0
+
+
+def _join(lines: list[str]) -> str:
+    return "\n".join(lines) + "\n"
+
+
+def reduce_source(source: str, predicate: Callable[[str], bool],
+                  max_tests: int = 4000,
+                  stats: ReduceStats | None = None) -> str:
+    """Return a (locally) minimal variant of ``source`` for which
+    ``predicate`` still holds.
+
+    Raises ``ValueError`` if the predicate does not hold on the input —
+    a reducer run on a non-reproducer would "reduce" to garbage.
+    """
+    stats = stats if stats is not None else ReduceStats()
+    lines = [ln for ln in source.splitlines() if ln.strip()]
+    stats.lines_before = len(lines)
+
+    budget = [max_tests]
+
+    def holds(cand: list[str]) -> bool:
+        if not cand or budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        stats.tests += 1
+        return predicate(_join(cand))
+
+    if not predicate(_join(lines)):
+        raise ValueError("predicate does not hold on the unreduced input")
+    stats.tests += 1
+
+    # -- ddmin: remove ever-smaller complements ----------------------------
+    n = 2
+    while len(lines) >= 2 and budget[0] > 0:
+        chunk = max(1, len(lines) // n)
+        removed_one = False
+        start = 0
+        while start < len(lines):
+            cand = lines[:start] + lines[start + chunk:]
+            if holds(cand):
+                lines = cand
+                n = max(n - 1, 2)
+                removed_one = True
+                break
+            start += chunk
+        if not removed_one:
+            if n >= len(lines):
+                break
+            n = min(len(lines), n * 2)
+
+    # -- polish: single-line elimination to a fixpoint ---------------------
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        for i in range(len(lines)):
+            cand = lines[:i] + lines[i + 1:]
+            if holds(cand):
+                lines = cand
+                changed = True
+                break
+
+    stats.lines_after = len(lines)
+    return _join(lines)

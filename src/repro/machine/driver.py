@@ -5,11 +5,19 @@ Reproduces the paper's build matrix as configurations:
 =============  =========  ==========  =======================================
 config          optimizer  annotation  paper column
 =============  =========  ==========  =======================================
+``O0``          off*       none        "-O0": register lowering, no opt passes
 ``O``           on         none        the ``-O``/``-O2`` baseline (unsafe!)
 ``O_safe``      on         KEEP_LIVE   "-O, safe"
 ``g``           off        none        "-g" (fully debuggable, hence GC-safe)
 ``g_checked``   off        checked     "-g, checked" (GC_same_obj calls)
 =============  =========  ==========  =======================================
+
+(*) ``O0`` uses the optimizing (register-based) lowering but runs an
+empty pass pipeline — the same object code shape as ``O`` without any
+transformation, which makes it the natural middle rung for differential
+testing: a divergence between ``O0`` and ``g`` implicates lowering or
+register allocation, while a divergence between ``O`` and ``O0``
+implicates an optimizer pass.
 
 Use :func:`compile_source` + :class:`repro.machine.vm.VM` to run, or the
 convenience :func:`run_source`.
@@ -32,7 +40,7 @@ from .models import MachineModel, SPARC_10
 from .opt import DEFAULT_PASSES, optimize
 from .vm import VM, RunResult
 
-CONFIGS = ("O", "O_safe", "g", "g_checked")
+CONFIGS = ("O0", "O", "O_safe", "g", "g_checked")
 
 
 @dataclass
@@ -57,6 +65,8 @@ class CompileConfig:
 
     @staticmethod
     def named(name: str, model: MachineModel = SPARC_10) -> "CompileConfig":
+        if name == "O0":
+            return CompileConfig(optimize=True, passes=(), model=model)
         if name == "O":
             return CompileConfig(optimize=True, model=model)
         if name == "O_safe":

@@ -1,0 +1,12 @@
+/* PR 1 regression: addrfold's in-place reassociation must not clobber
+ * the base register when the index operand aliases it.  Pre-fix, -O
+ * compiled x + (x - 1000) to 2*(x - 1000) instead of 2*x - 1000. */
+int main(void) {
+    int *a = (int *)GC_malloc(4 * sizeof(int));
+    int x, y;
+    a[0] = 4242;
+    x = a[0];
+    y = x + (x - 1000);
+    printf("%d\n", y);
+    return y & 0xFF;
+}

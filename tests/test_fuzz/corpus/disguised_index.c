@@ -1,0 +1,15 @@
+/* The paper's motivating shape: a[x - C] reassociates into a pointer
+ * below the object (a - C) that exists in a register while no
+ * recognizable pointer does.  Every config must agree, and the safe
+ * configs must survive a collection between the adjustment and use. */
+int main(void) {
+    int *a = (int *)GC_malloc(32 * sizeof(int));
+    int i, x, acc = 0;
+    for (i = 0; i < 32; i++) a[i] = (i * 7 + 3) & 0xFF;
+    x = 29;
+    acc = (acc + a[x - 17]) & 0xFFFF;
+    x = 17;
+    acc = (acc + a[x - 17]) & 0xFFFF;
+    printf("%d\n", acc);
+    return acc & 0xFF;
+}

@@ -1,0 +1,19 @@
+/* Interior-pointer function arguments: a helper receives a + 6 (an
+ * interior pointer is the only reference crossing the call) and itself
+ * performs disguise-prone p[n - c] arithmetic. */
+int hf0(int *p, int n) {
+    int j, s = 0;
+    for (j = 0; j < n; j++) s = (s + p[j] * 3) & 0xFFFF;
+    if (n > 4) s = (s + p[n - 4]) & 0xFFFF;
+    return s;
+}
+int main(void) {
+    int *a = (int *)GC_malloc(20 * sizeof(int));
+    int i, acc = 0;
+    for (i = 0; i < 20; i++) a[i] = (i * 9 + 2) & 0xFF;
+    acc = (acc + hf0(a + 6, 14)) & 0xFFFF;
+    GC_malloc(80);
+    acc = (acc + hf0(a, 20)) & 0xFFFF;
+    printf("%d\n", acc);
+    return acc & 0xFF;
+}

@@ -1,0 +1,17 @@
+/* Interior pointers + allocation churn: with gc_interval=1 and heap
+ * poisoning, a premature reclaim of the array while only the interior
+ * pointer p survives would corrupt the checksum. */
+int main(void) {
+    int *a = (int *)GC_malloc(24 * sizeof(int));
+    char *cp;
+    int i, j, acc = 0;
+    for (i = 0; i < 24; i++) a[i] = (i * 5 + 11) & 0xFF;
+    cp = (char *)a;
+    { int *p = a + 9; acc = (acc + p[-4] + p[10]) & 0xFFFF; }
+    GC_malloc(64);
+    GC_malloc(96);
+    { int *p = a; for (j = 0; j < 13; j++) p++; acc = (acc + *p) & 0xFFFF; }
+    acc = (acc + cp[21]) & 0xFFFF;
+    printf("%d\n", acc);
+    return acc & 0xFF;
+}

@@ -1,0 +1,24 @@
+/* Linked structs on the collected heap: only the head is a root; the
+ * chain must survive adversarial collections while dropped garbage
+ * (the re-assigned b) is reclaimed and poisoned. */
+struct S { int val; int pad[3]; struct S *next; };
+int main(void) {
+    struct S *head; struct S *tail;
+    int *b;
+    int j, acc = 0;
+    head = (struct S *)GC_malloc(sizeof(struct S));
+    head->val = 7; tail = head;
+    tail->next = (struct S *)GC_malloc(sizeof(struct S));
+    tail = tail->next; tail->val = 40;
+    tail->next = (struct S *)GC_malloc(sizeof(struct S));
+    tail = tail->next; tail->val = 3; tail->next = 0;
+    head->pad[1] = 19; head->next->pad[2] = 23;
+    b = (int *)GC_malloc(16 * sizeof(int));
+    for (j = 0; j < 16; j++) b[j] = j;
+    b = (int *)GC_malloc(8 * sizeof(int));
+    for (j = 0; j < 8; j++) b[j] = j * 3;
+    { struct S *s = head; while (s) { acc = (acc + s->val) & 0xFFFF; s = s->next; } }
+    acc = (acc + head->pad[1] + head->next->pad[2] + b[5]) & 0xFFFF;
+    printf("%d\n", acc);
+    return acc & 0xFF;
+}

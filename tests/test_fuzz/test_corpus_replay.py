@@ -1,0 +1,27 @@
+"""Regression-corpus replay: every minimized finding checked into
+``corpus/`` runs through the full five-config differential oracle —
+all three machine models for the plain matrix, ``gc_interval=1`` with
+heap poisoning for the adversarial re-runs.
+
+Any future optimizer or GC change that re-breaks a corpus program fails
+here, permanently.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import check_program
+
+CORPUS = sorted((Path(__file__).parent / "corpus").glob("*.c"))
+
+
+def test_corpus_is_nonempty():
+    assert len(CORPUS) >= 4
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_program_survives_five_config_oracle(path):
+    report = check_program(path.read_text(), adv_interval=1)
+    assert report.ok, f"{path.name}:\n{report.describe()}"
+    assert report.reference.status == "ok"

@@ -1,0 +1,84 @@
+"""Reducer behavior on synthetic predicates and on a real miscompile."""
+
+import pytest
+
+from repro.fuzz import ReduceStats, mismatch_predicate, reduce_source
+from repro.fuzz.brokenpass import rebroken_addrfold
+from repro.fuzz.oracle import check_program
+
+
+def count_lines(text):
+    return len([ln for ln in text.splitlines() if ln.strip()])
+
+
+class TestSyntheticPredicates:
+    def test_reduces_to_single_needed_line(self):
+        source = "\n".join(f"line{i}" for i in range(64)) + "\nNEEDLE\n"
+        stats = ReduceStats()
+        result = reduce_source(source, lambda s: "NEEDLE" in s, stats=stats)
+        assert result == "NEEDLE\n"
+        assert stats.lines_before == 65
+        assert stats.lines_after == 1
+
+    def test_keeps_interdependent_pair(self):
+        source = "a\nb\nc\nd\ne\n"
+        pred = lambda s: "b" in s and "d" in s
+        result = reduce_source(source, pred)
+        assert sorted(result.split()) == ["b", "d"]
+
+    def test_rejects_non_reproducer(self):
+        with pytest.raises(ValueError):
+            reduce_source("a\nb\n", lambda s: False)
+
+    def test_respects_test_budget(self):
+        calls = []
+
+        def pred(s):
+            calls.append(s)
+            return "x0" in s
+
+        source = "\n".join(f"x{i}" for i in range(40)) + "\n"
+        reduce_source(source, pred, max_tests=10)
+        assert len(calls) <= 12  # initial check + budgeted tests
+
+
+class TestRealMiscompile:
+    @pytest.mark.fuzz
+    def test_rebroken_addrfold_shrinks_to_small_reproducer(self):
+        # The acceptance-criterion scenario: an intentionally re-broken
+        # addrfold must reduce to a handful of lines that still
+        # reproduce the mismatch.
+        source = """
+int pad1(int *p) { return p[0]; }
+int main(void) {
+    int stk[3][3];
+    int *a; int *b;
+    int i, j, x, y, acc;
+    a = (int *)GC_malloc(16 * sizeof(int));
+    for (i = 0; i < 16; i++) a[i] = (i * 7 + 3) & 0xFF;
+    for (i = 0; i < 3; i++) for (j = 0; j < 3; j++) stk[i][j] = i + j;
+    acc = 0;
+    acc = (acc + a[5]) & 0xFFFF;
+    b = (int *)GC_malloc(8 * sizeof(int));
+    for (j = 0; j < 8; j++) b[j] = j * 3;
+    acc = (acc + stk[2][1] + b[4]) & 0xFFFF;
+    x = a[7];
+    y = x + (x - 1000);
+    acc = (acc + y) & 0xFFFF;
+    acc = (acc + pad1(a)) & 0xFFFF;
+    printf("%d\\n", acc);
+    return acc & 0xFF;
+}
+"""
+        with rebroken_addrfold():
+            report = check_program(source, models=("ss10",))
+            assert not report.ok, "hook failed to re-break the compiler"
+            stats = ReduceStats()
+            pred = mismatch_predicate(report.mismatches[0].signature())
+            reduced = reduce_source(source, pred, stats=stats)
+            assert pred(reduced)
+        assert count_lines(reduced) <= 15, reduced
+        # The alias site must survive reduction — it is the bug.
+        assert "(x - 1000)" in reduced
+        # And the fixed compiler must be clean on the reproducer.
+        assert check_program(reduced, models=("ss10",)).ok

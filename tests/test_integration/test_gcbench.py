@@ -8,6 +8,8 @@ from repro.gc import Collector
 from repro.machine import CompileConfig, VM, compile_source
 from repro.workloads import AUX_WORKLOADS, load_workload
 
+pytestmark = pytest.mark.slow  # heavy allocation-churn stress runs
+
 
 def run(config_name, threshold=16 * 1024, gc_interval=0):
     source = load_workload("gcbench")

@@ -11,6 +11,10 @@ from hypothesis import given, settings, strategies as st
 from repro.gc import Collector
 from repro.machine import CompileConfig, VM, compile_source
 
+# The seeded generator in repro.fuzz supersedes this for campaigns; the
+# hypothesis version stays as a shrinking-capable property test.
+pytestmark = [pytest.mark.slow, pytest.mark.fuzz]
+
 # ---------------------------------------------------------------------------
 # A tiny structured program generator.  Programs allocate a heap int
 # array, fill it, then run a sequence of pointer/arithmetic statements

@@ -7,6 +7,8 @@ import pytest
 from repro.machine import CompileConfig, VM, compile_source
 from repro.workloads import WORKLOAD_NAMES, WORKLOADS, load_workload
 
+pytestmark = pytest.mark.slow  # full build-matrix runs of real workloads
+
 EXPECTED_OUTPUT_MARKS = {
     "cordtest": "cordtest: checksum=",
     "cfrac": "cfrac: check=",

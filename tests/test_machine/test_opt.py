@@ -223,6 +223,59 @@ class TestAddrFold:
             assert VM(compiled.asm).run().exit_code == 55
 
 
+class TestAddrFoldAliasRegression:
+    """Pins PR 1's in-place aliasing fix: ``x + (x - c)``, where the
+    index operand of the reassociated add *is* the base, must not be
+    rewritten in place (``x = x - c; x + x``) — that clobbers the value
+    the final add still reads.  Previously covered only indirectly by
+    benchmark parity."""
+
+    ALIAS = "int f(int *a) { int x = a[0]; return x + (x - 1000); }"
+
+    def test_base_register_not_clobbered(self):
+        fn = lower(self.ALIAS, "f")
+        optimize(fn)
+        x = next(i.dst for i in fn.insts if i.op == "load")
+        # The loaded value must stay single-assignment: the buggy
+        # in-place variant redefined it (x = sub(x, c)).
+        assert not any(i.dst == x for i in fn.insts
+                       if i.op != "load"), fn.insts
+
+    def test_no_self_add_from_reassociation(self):
+        fn = lower(self.ALIAS, "f")
+        optimize(fn)
+        # The miscompile's signature: the rewritten add reads the same
+        # (adjusted) register twice, computing 2*(x-c) instead of 2x-c.
+        assert not any(i.op == "bin" and i.subop == "add"
+                       and len(i.args) == 2 and i.args[0] == i.args[1]
+                       for i in fn.insts if i.text == "reassoc"), fn.insts
+
+    def test_alias_semantics_across_pipelines(self):
+        from repro.machine import CompileConfig, VM, compile_source
+        src = ("int main(void) { int *a = (int *)GC_malloc(4 * sizeof(int)); "
+               "int x, y; a[0] = 4242; x = a[0]; y = x + (x - 1000); "
+               "return y & 0xFF; }")
+        expected = (4242 + 4242 - 1000) & 0xFF
+        for passes in [("local", "deadcode"),
+                       ("local", "licm", "strength", "addrfold", "deadcode")]:
+            compiled = compile_source(src, CompileConfig(passes=passes))
+            assert VM(compiled.asm).run().exit_code == expected
+
+    def test_intervening_read_blocks_in_place_rewrite(self):
+        # The second half of the fix: even with distinct index and base,
+        # a read of the base between the adjustment point and the add
+        # makes the in-place overwrite unsound.
+        from repro.machine import CompileConfig, VM, compile_source
+        full = ("int f(int *p, int i) { int t = p[0]; return p[i - 8] + t; }\n"
+                "int main(void) { int a[12]; int k; "
+                "for (k = 0; k < 12; k++) a[k] = k + 30; "
+                "return f(a, 11) & 0xFF; }")
+        for passes in [("local", "deadcode"),
+                       ("local", "licm", "strength", "addrfold", "deadcode")]:
+            compiled = compile_source(full, CompileConfig(passes=passes))
+            assert VM(compiled.asm).run().exit_code == (33 + 30) & 0xFF
+
+
 class TestPipeline:
     def test_optimize_reaches_fixpoint(self):
         fn = lower("int f(int a) { int b = a + 0; int c = b * 1; "
