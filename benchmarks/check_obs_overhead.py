@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""CI gate: disabled telemetry must cost <2% wall-clock on cfrac.
+
+Measures the end-to-end compile+run wall time of one workload at HEAD
+(telemetry present but disabled — the default runtime state) against
+the same measurement from a baseline git revision, each as the minimum
+of N interleaved repeats in separate subprocesses:
+
+    python benchmarks/check_obs_overhead.py --baseline origin/main
+    python benchmarks/check_obs_overhead.py --baseline <sha> --repeats 7
+
+The baseline tree is materialized with ``git worktree add`` and the
+child process runs with PYTHONPATH pointing at its ``src``; if the
+baseline has no telemetry layer at all, the comparison is exactly
+"instrumented vs. un-instrumented".  Interleaving the repeats and
+taking minima makes the gate robust to CI-runner noise; the simulated
+*cycle* counts are additionally asserted bit-identical, which catches
+accidental semantic drift regardless of timing.
+
+Exit codes: 0 ok (or SKIP when the baseline is unresolvable),
+1 overhead above threshold, 2 cycle-count mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Runs in a child interpreter with PYTHONPATH set by the parent; prints
+# one JSON line {"wall_s": ..., "cycles": ...}.
+CHILD = r"""
+import json, sys, time
+from repro.machine.driver import CompileConfig, compile_source
+from repro.machine.models import MODELS
+from repro.machine.vm import VM
+from repro.workloads import WORKLOADS, load_workload
+
+workload, config_name = sys.argv[1], sys.argv[2]
+source = load_workload(workload)
+stdin = WORKLOADS[workload].stdin
+config = CompileConfig.named(config_name, MODELS["ss10"])
+t0 = time.perf_counter()
+compiled = compile_source(source, config)
+vm = VM(compiled.asm, config.model)
+vm.stdin = stdin
+result = vm.run()
+wall = time.perf_counter() - t0
+print(json.dumps({"wall_s": wall, "cycles": result.cycles,
+                  "exit_code": result.exit_code}))
+"""
+
+
+def run_once(src_dir: str, workload: str, config: str) -> dict:
+    env = dict(os.environ, PYTHONPATH=src_dir)
+    out = subprocess.run(
+        [sys.executable, "-c", CHILD, workload, config],
+        capture_output=True, text=True, env=env, cwd=REPO, check=True)
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def resolve_baseline(ref: str) -> str | None:
+    probe = subprocess.run(["git", "rev-parse", "--verify", ref + "^{commit}"],
+                           capture_output=True, text=True, cwd=REPO)
+    return probe.stdout.strip() if probe.returncode == 0 else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default="HEAD~1",
+                    help="git rev to compare against (default: HEAD~1)")
+    ap.add_argument("--workload", default="cfrac")
+    ap.add_argument("--config", default="O")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="max allowed overhead in percent (default: 2)")
+    ap.add_argument("--repeats", type=int, default=5)
+    args = ap.parse_args(argv)
+
+    sha = resolve_baseline(args.baseline)
+    if sha is None:
+        print(f"SKIP: cannot resolve baseline {args.baseline!r} "
+              f"(shallow clone?)")
+        return 0
+
+    with tempfile.TemporaryDirectory(prefix="obs-baseline-") as tmp:
+        base_tree = os.path.join(tmp, "tree")
+        subprocess.run(["git", "worktree", "add", "--detach", base_tree, sha],
+                       check=True, cwd=REPO, capture_output=True)
+        try:
+            head_src = os.path.join(REPO, "src")
+            base_src = os.path.join(base_tree, "src")
+            head_runs, base_runs = [], []
+            for i in range(args.repeats):
+                # Interleave to decorrelate from slow CI-runner drift.
+                head_runs.append(run_once(head_src, args.workload,
+                                          args.config))
+                base_runs.append(run_once(base_src, args.workload,
+                                          args.config))
+                print(f"  repeat {i + 1}/{args.repeats}: "
+                      f"head {head_runs[-1]['wall_s']:.3f}s  "
+                      f"base {base_runs[-1]['wall_s']:.3f}s", flush=True)
+        finally:
+            subprocess.run(["git", "worktree", "remove", "--force", base_tree],
+                           cwd=REPO, capture_output=True)
+
+    head_cycles = {r["cycles"] for r in head_runs}
+    base_cycles = {r["cycles"] for r in base_runs}
+    if len(head_cycles) != 1 or len(base_cycles) != 1:
+        print(f"FAIL: nondeterministic cycle counts "
+              f"(head {head_cycles}, base {base_cycles})")
+        return 2
+    if head_cycles != base_cycles:
+        print(f"FAIL: simulated cycles drifted: head {head_cycles.pop()} "
+              f"vs baseline {base_cycles.pop()} — telemetry must be "
+              f"observation-only")
+        return 2
+
+    head = min(r["wall_s"] for r in head_runs)
+    base = min(r["wall_s"] for r in base_runs)
+    overhead = 100.0 * (head - base) / base
+    verdict = "OK" if overhead <= args.threshold else "FAIL"
+    print(f"{verdict}: {args.workload}/{args.config} tracing-disabled "
+          f"overhead {overhead:+.2f}% (head {head:.3f}s vs base {base:.3f}s, "
+          f"min of {args.repeats}; threshold {args.threshold:.1f}%)")
+    return 0 if overhead <= args.threshold else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

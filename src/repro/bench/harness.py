@@ -15,7 +15,10 @@ from dataclasses import dataclass, field
 from ..machine.driver import CompileConfig, compile_source
 from ..machine.models import MODELS, MachineModel
 from ..machine.vm import VM
+from ..obs import runtime as obs_runtime
+from ..obs.report import summarize
 from ..postproc import postprocess
+from ..postproc.peephole import PeepholeStats
 from ..workloads import WORKLOADS, load_workload
 
 CONFIG_ORDER = ("O", "O_safe", "g", "g_checked")
@@ -33,7 +36,11 @@ class CellResult:
     collections: int
     output: str
     postprocessed: bool = False
-    peephole_stats: object = None
+    peephole_stats: PeepholeStats | None = None
+    # ``repro-obs-summary/1`` dict for this cell's compile+run when the
+    # session tracer was enabled; None otherwise (telemetry is opt-in
+    # and never perturbs the measured cycle counts).
+    telemetry: dict | None = None
 
 
 @dataclass
@@ -75,17 +82,24 @@ class Harness:
         spec = WORKLOADS[workload]
         source = load_workload(workload)
         config = CompileConfig.named(config_name, self.model)
-        compiled = compile_source(source, config)
-        stats = postprocess(compiled.asm) if postprocessed else None
-        vm = VM(compiled.asm, self.model)
-        vm.stdin = spec.stdin
-        run = vm.run()
+        tracer = obs_runtime.get_tracer()
+        ev_start = len(tracer.events)
+        with tracer.span("bench.cell", workload=workload, config=config_name,
+                         model=self.model_key, postprocessed=postprocessed):
+            compiled = compile_source(source, config)
+            stats = postprocess(compiled.asm) if postprocessed else None
+            vm = VM(compiled.asm, self.model)
+            vm.stdin = spec.stdin
+            run = vm.run()
+        telemetry = (summarize(tracer.events[ev_start:])
+                     if tracer.enabled else None)
         cell = CellResult(
             workload=workload, config=config_name, model=self.model_key,
             cycles=run.cycles, instructions=run.instructions,
             code_size=compiled.asm.code_size(), exit_code=run.exit_code,
             collections=run.collections, output=run.output,
-            postprocessed=postprocessed, peephole_stats=stats)
+            postprocessed=postprocessed, peephole_stats=stats,
+            telemetry=telemetry)
         self._cache[key] = cell
         return cell
 

@@ -111,4 +111,14 @@ def render_postproc_table(cells_by_workload: dict[str, dict[str, CellResult]]) -
             f"{PAPER_NAMES.get(name, name):10s} "
             f"{_fmt(ref.get('time')):>9s} / {time_pct:7.1f}%  "
             f"{_fmt(ref.get('size')):>9s} / {size_pct:7.1f}%")
+    lines.append("peephole rewrites (loads folded / moves eliminated / "
+                 "adds retargeted):")
+    for name, cells in cells_by_workload.items():
+        stats = cells["O_safe_pp"].peephole_stats
+        if stats is None:
+            continue
+        lines.append(
+            f"{PAPER_NAMES.get(name, name):10s} "
+            f"{stats.loads_folded:>6d} / {stats.moves_eliminated:>6d} / "
+            f"{stats.adds_retargeted:>6d}   ({stats.total} total)")
     return "\n".join(lines)

@@ -260,4 +260,11 @@ def preprocess(source: str, include_dirs: list[str] | None = None,
                predefined: dict[str, str] | None = None,
                filename: str = "<string>") -> str:
     """Run the mini preprocessor over ``source`` and return plain C text."""
-    return Preprocessor(include_dirs, predefined).preprocess(source, filename)
+    from ..obs import runtime as obs_runtime
+    tracer = obs_runtime.get_tracer()
+    if not tracer.enabled:
+        return Preprocessor(include_dirs, predefined).preprocess(source, filename)
+    with tracer.span("cfront.cpp", file=filename) as sp:
+        out = Preprocessor(include_dirs, predefined).preprocess(source, filename)
+        sp.set(lines_in=source.count("\n") + 1, lines_out=out.count("\n") + 1)
+    return out

@@ -732,7 +732,18 @@ class Parser:
 
 def parse(source: str) -> A.TranslationUnit:
     """Parse a full translation unit."""
-    return Parser(source).parse()
+    from ..obs import runtime as obs_runtime
+    tracer = obs_runtime.get_tracer()
+    if not tracer.enabled:
+        return Parser(source).parse()
+    # Lexing happens in Parser.__init__; time the two stages apart.
+    with tracer.span("cfront.lex") as sp:
+        parser = Parser(source)
+        sp.set(tokens=len(parser.tokens), chars=len(source))
+    with tracer.span("cfront.parse", tokens=len(parser.tokens)) as sp:
+        unit = parser.parse()
+        sp.set(items=len(unit.items))
+    return unit
 
 
 def parse_expression(source: str) -> A.Expr:

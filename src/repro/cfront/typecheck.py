@@ -366,4 +366,9 @@ class TypeChecker:
 
 def typecheck(unit: A.TranslationUnit) -> SymbolTable:
     """Annotate every expression in ``unit``; return the symbol table."""
-    return TypeChecker(unit).check()
+    from ..obs import runtime as obs_runtime
+    tracer = obs_runtime.get_tracer()
+    if not tracer.enabled:
+        return TypeChecker(unit).check()
+    with tracer.span("cfront.typecheck", items=len(unit.items)):
+        return TypeChecker(unit).check()

@@ -14,6 +14,11 @@
 
     python -m repro bench [--model ss10] [--workloads w1,w2,...]
         Print the slowdown table for one machine model.
+
+Every subcommand also accepts the telemetry flags ``--trace FILE``
+(write a JSONL trace of compile-pipeline spans, GC pauses, and VM runs;
+load in ``python -m repro.obs report`` or convert for chrome://tracing)
+and ``--profile`` (print the VM hot-spot table to stderr on exit).
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from .gc.collector import Collector, GCCheckError
 from .machine.driver import CompileConfig, compile_source
 from .machine.models import MODELS
 from .machine.vm import VM, VMError
+from .obs import runtime as obs_runtime
 from .postproc import postprocess
 
 
@@ -108,6 +114,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a JSONL telemetry trace of this run")
+    p.add_argument("--profile", action="store_true",
+                   help="print the VM hot-spot profile to stderr")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -124,11 +137,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--call-safe-points", action="store_true")
     p.add_argument("--warnings", action="store_true")
     p.add_argument("--stats", action="store_true")
+    _add_obs_args(p)
     p.set_defaults(fn=cmd_annotate)
 
     p = sub.add_parser("check", help="source-safety diagnostics")
     p.add_argument("file")
     p.add_argument("--no-cpp", action="store_true")
+    _add_obs_args(p)
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("cc", help="compile and run on the simulated machine")
@@ -141,11 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--poison", action="store_true")
     p.add_argument("--stdin")
     p.add_argument("--dump-asm", action="store_true")
+    _add_obs_args(p)
     p.set_defaults(fn=cmd_cc)
 
     p = sub.add_parser("bench", help="print one slowdown table")
     p.add_argument("--model", choices=tuple(MODELS), default="ss10")
     p.add_argument("--workloads", default="")
+    _add_obs_args(p)
     p.set_defaults(fn=cmd_bench)
     return parser
 
@@ -153,6 +170,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_file = getattr(args, "trace", None)
+    profile_on = getattr(args, "profile", False)
+    if trace_file:
+        obs_runtime.enable_tracing()
+    if profile_on:
+        obs_runtime.enable_profiling()
     try:
         return args.fn(args)
     except (CFrontError, VMError) as exc:
@@ -161,6 +184,15 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if trace_file:
+            obs_runtime.get_tracer().write_jsonl(trace_file)
+            print(f"! trace written to {trace_file}", file=sys.stderr)
+        profile = obs_runtime.session_profile()
+        if profile_on and profile is not None and profile.funcs:
+            print(profile.render_report(), file=sys.stderr)
+        if trace_file or profile_on:
+            obs_runtime.reset()
 
 
 if __name__ == "__main__":

@@ -8,9 +8,11 @@ in isolation from its iteration number alone.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..obs import runtime as obs_runtime
 from .gen import GenOptions, generate_program
 from .oracle import OracleReport, check_program, mismatch_predicate
 from .reduce import ReduceStats, reduce_source
@@ -41,6 +43,9 @@ class CampaignResult:
     iterations: int = 0
     cells: int = 0
     findings: list[Finding] = field(default_factory=list)
+    # Wall-clock attribution of campaign stages (always collected — two
+    # clock reads per iteration, negligible next to an oracle run).
+    telemetry: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -78,34 +83,65 @@ def run_campaign(seed: int, iters: int,
     """
     log = log or (lambda msg: None)
     result = CampaignResult(seed=seed)
+    tracer = obs_runtime.get_tracer()
+    clock = time.perf_counter_ns
+    gen_ns = oracle_ns = reduce_ns = 0
     for k in range(iters):
         program_seed = seed + k
-        source = generate_program(program_seed, gen_options)
-        report = check_program(source, models=models,
-                               adv_interval=adv_interval,
-                               max_instructions=max_instructions)
-        result.iterations += 1
-        result.cells += report.runs
-        if not report.ok:
-            finding = Finding(seed=program_seed, iteration=k,
-                              source=source, report=report)
-            if reduce:
-                signature = report.mismatches[0].signature()
-                pred = mismatch_predicate(signature,
-                                          max_instructions=max_instructions,
-                                          adv_interval=adv_interval)
-                stats = ReduceStats()
-                finding.reduced = reduce_source(source, pred, stats=stats)
-                finding.reduce_stats = stats
-            result.findings.append(finding)
-            if out_dir:
-                _persist(out_dir, finding)
-            log(f"[{k + 1}/{iters}] MISMATCH (program seed {program_seed}):")
-            for line in finding.describe().splitlines():
-                log("    " + line)
+        with tracer.span("fuzz.iteration", seed=program_seed, index=k) as isp:
+            t0 = clock()
+            source = generate_program(program_seed, gen_options)
+            t1 = clock()
+            report = check_program(source, models=models,
+                                   adv_interval=adv_interval,
+                                   max_instructions=max_instructions)
+            t2 = clock()
+            gen_ns += t1 - t0
+            oracle_ns += t2 - t1
+            result.iterations += 1
+            result.cells += report.runs
+            isp.set(ok=report.ok, cells=report.runs,
+                    gen_ns=t1 - t0, oracle_ns=t2 - t1)
+            finding = None
+            if not report.ok:
+                finding = Finding(seed=program_seed, iteration=k,
+                                  source=source, report=report)
+                if reduce:
+                    signature = report.mismatches[0].signature()
+                    pred = mismatch_predicate(
+                        signature, max_instructions=max_instructions,
+                        adv_interval=adv_interval)
+                    stats = ReduceStats()
+                    r0 = clock()
+                    with tracer.span("fuzz.reduce", seed=program_seed) as rsp:
+                        finding.reduced = reduce_source(source, pred,
+                                                        stats=stats)
+                        rsp.set(lines_before=stats.lines_before,
+                                lines_after=stats.lines_after,
+                                tests=stats.tests)
+                    reduce_ns += clock() - r0
+                    finding.reduce_stats = stats
+                result.findings.append(finding)
+                if out_dir:
+                    _persist(out_dir, finding)
+                log(f"[{k + 1}/{iters}] MISMATCH "
+                    f"(program seed {program_seed}):")
+                for line in finding.describe().splitlines():
+                    log("    " + line)
+        if finding is not None:
             if stop_after is not None and len(result.findings) >= stop_after:
                 break
         elif progress_every and (k + 1) % progress_every == 0:
             log(f"[{k + 1}/{iters}] ok — {result.cells} cells checked, "
                 f"0 mismatches")
+    result.telemetry = {
+        "gen_s": round(gen_ns / 1e9, 6),
+        "oracle_s": round(oracle_ns / 1e9, 6),
+        "reduce_s": round(reduce_ns / 1e9, 6),
+        "iterations": result.iterations,
+        "cells": result.cells,
+        "findings": len(result.findings),
+    }
+    if tracer.enabled:
+        tracer.instant("fuzz.campaign", **result.telemetry, seed=seed)
     return result

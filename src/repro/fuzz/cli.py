@@ -10,6 +10,10 @@
 
     python -m repro.fuzz --replay prog.c
         Run one existing program through the full oracle (for triage).
+
+``--trace FILE`` / ``--profile`` attach the repro.obs telemetry layer:
+the trace records per-stage campaign timings and every compile/GC/VM
+event; the profile aggregates VM hot spots across all oracle cells.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import argparse
 import sys
 
 from ..machine.models import MODELS
+from ..obs import runtime as obs_runtime
 from .campaign import run_campaign
 from .gen import GenOptions
 from .oracle import check_program, mismatch_predicate
@@ -61,6 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rebreak-addrfold", action="store_true",
                    help="TEST ONLY: reintroduce the PR 1 addrfold aliasing "
                         "bug to validate the oracle/reducer pipeline")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a JSONL telemetry trace of the campaign")
+    p.add_argument("--profile", action="store_true",
+                   help="print the aggregate VM hot-spot profile to stderr")
     p.add_argument("--quiet", action="store_true")
     return p
 
@@ -104,15 +113,33 @@ def main(argv: list[str] | None = None) -> int:
                    if result.ok else f"{len(result.findings)} finding(s)")
         log(f"checked {result.iterations} programs "
             f"({result.cells} oracle cells): {verdict}")
+        t = result.telemetry
+        if t:
+            log(f"stage wall: gen {t['gen_s']:.2f}s, "
+                f"oracle {t['oracle_s']:.2f}s, reduce {t['reduce_s']:.2f}s")
         return 0 if result.ok else 1
 
-    if args.rebreak_addrfold:
-        from .brokenpass import rebroken_addrfold
-        log("WARNING: running with the addrfold aliasing bug re-broken "
-            "(test-only mode)")
-        with rebroken_addrfold():
-            return execute()
-    return execute()
+    if args.trace:
+        obs_runtime.enable_tracing()
+    if args.profile:
+        obs_runtime.enable_profiling()
+    try:
+        if args.rebreak_addrfold:
+            from .brokenpass import rebroken_addrfold
+            log("WARNING: running with the addrfold aliasing bug re-broken "
+                "(test-only mode)")
+            with rebroken_addrfold():
+                return execute()
+        return execute()
+    finally:
+        if args.trace:
+            obs_runtime.get_tracer().write_jsonl(args.trace)
+            print(f"! trace written to {args.trace}", file=sys.stderr)
+        profile = obs_runtime.session_profile()
+        if args.profile and profile is not None and profile.funcs:
+            print(profile.render_report(), file=sys.stderr)
+        if args.trace or args.profile:
+            obs_runtime.reset()
 
 
 if __name__ == "__main__":

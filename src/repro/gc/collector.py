@@ -16,12 +16,14 @@ Semantics follow the paper's "Compiler Safety Problem Statement":
 from __future__ import annotations
 
 import struct
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from .heap import Heap, PageDescriptor
 from .memory import HEAP_BASE, Memory, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE
 from ..cfront.ctypes import WORD_SIZE
+from ..obs import runtime as obs_runtime
 
 
 class GCCheckError(Exception):
@@ -37,6 +39,30 @@ class GCStats:
     bytes_reclaimed: int = 0
     marked_last_gc: int = 0
     checks_performed: int = 0
+    # Live-set snapshot, refreshed after every sweep.
+    live_bytes: int = 0
+    live_objects: int = 0
+    # Per-kind check counters (checks_performed is the sum).
+    same_obj_checks: int = 0
+    incr_checks: int = 0
+    base_checks: int = 0
+    # Wall-clock pause accounting (populated only while tracing is
+    # enabled; observational — never feeds back into simulated cycles).
+    gc_pause_ns: int = 0
+    root_scan_ns: int = 0
+    mark_ns: int = 0
+    sweep_ns: int = 0
+    max_pause_ns: int = 0
+    # Allocation-size histogram, bucketed by ``size.bit_length()``
+    # (bucket b holds requests of 2**(b-1) .. 2**b - 1 bytes); populated
+    # only while tracing is enabled.
+    alloc_histogram: dict[int, int] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        """Zero every counter (fresh measurement window)."""
+        fresh = GCStats()
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(fresh, name))
 
 
 @dataclass
@@ -56,7 +82,8 @@ class Collector:
                  heap_base: int = HEAP_BASE,
                  heap_limit: int = 64 * 1024 * 1024,
                  initial_threshold: int = 64 * 1024,
-                 interior_from_roots_only: bool = False):
+                 interior_from_roots_only: bool = False,
+                 tracer=None):
         self.memory = memory if memory is not None else Memory()
         self.heap = Heap(self.memory, heap_base, heap_limit)
         self.static_roots: list[RootRange] = []
@@ -67,6 +94,10 @@ class Collector:
         self._threshold = initial_threshold
         self._allocated_since_gc = 0
         self.collections_enabled = True
+        # Telemetry: defaults to the process-wide tracer at construction
+        # time.  All emission sites guard on ``tracer.enabled`` so the
+        # untraced paths stay byte-for-byte the original ones.
+        self.tracer = tracer if tracer is not None else obs_runtime.get_tracer()
 
     # -- roots ----------------------------------------------------------------
 
@@ -94,6 +125,10 @@ class Collector:
         self.stats.bytes_allocated += size
         self.stats.objects_allocated += 1
         self._allocated_since_gc += size
+        if self.tracer.enabled:
+            bucket = max(size, 1).bit_length()
+            hist = self.stats.alloc_histogram
+            hist[bucket] = hist.get(bucket, 0) + 1
         return addr
 
     def malloc_atomic(self, size: int) -> int:
@@ -106,6 +141,10 @@ class Collector:
         self.stats.bytes_allocated += size
         self.stats.objects_allocated += 1
         self._allocated_since_gc += size
+        if self.tracer.enabled:
+            bucket = max(size, 1).bit_length()
+            hist = self.stats.alloc_histogram
+            hist[bucket] = hist.get(bucket, 0) + 1
         return addr
 
     def realloc(self, addr: int, new_size: int) -> int:
@@ -126,14 +165,72 @@ class Collector:
 
     def collect(self) -> int:
         """Run a full mark-sweep collection; return objects reclaimed."""
-        self.stats.collections += 1
-        self._mark()
-        reclaimed = self._sweep()
-        self._allocated_since_gc = 0
-        self._threshold = max(self._threshold, 2 * self.heap.bytes_in_use)
+        stats = self.stats
+        if not self.tracer.enabled:
+            stats.collections += 1
+            t0 = time.perf_counter_ns()
+            self._mark()
+            reclaimed = self._sweep()
+            pause_ns = time.perf_counter_ns() - t0
+            stats.gc_pause_ns += pause_ns
+            stats.max_pause_ns = max(stats.max_pause_ns, pause_ns)
+            stats.live_bytes = self.heap.bytes_in_use
+            stats.live_objects = self.heap.objects_in_use
+            self._allocated_since_gc = 0
+            self._threshold = max(self._threshold, 2 * self.heap.bytes_in_use)
+            return reclaimed
+        return self._collect_traced()
+
+    def _collect_traced(self) -> int:
+        """Traced variant of :meth:`collect`: identical collection
+        semantics, plus a ``gc.collect`` span with the pause broken down
+        into root-scan / mark / sweep, and heap-timeline counters."""
+        stats = self.stats
+        tracer = self.tracer
+        alloc_since = self._allocated_since_gc
+        stats.collections += 1
+        with tracer.span("gc.collect", number=stats.collections) as sp:
+            clock = time.perf_counter_ns
+            phases: dict[str, int] = {}
+            t0 = clock()
+            self._mark(phases)
+            t1 = clock()
+            reclaimed = self._sweep()
+            t2 = clock()
+            stats.live_bytes = self.heap.bytes_in_use
+            stats.live_objects = self.heap.objects_in_use
+            self._allocated_since_gc = 0
+            self._threshold = max(self._threshold, 2 * self.heap.bytes_in_use)
+
+            pause_ns = t2 - t0
+            sweep_ns = t2 - t1
+            root_scan_ns = phases.get("root_scan_ns", 0)
+            mark_ns = (t1 - t0) - root_scan_ns
+            stats.gc_pause_ns += pause_ns
+            stats.root_scan_ns += root_scan_ns
+            stats.mark_ns += mark_ns
+            stats.sweep_ns += sweep_ns
+            stats.max_pause_ns = max(stats.max_pause_ns, pause_ns)
+
+            page_bytes = sum(d.n_pages for d in self.heap.all_pages) * PAGE_SIZE
+            live = self.heap.bytes_in_use
+            fragmentation = 1.0 - live / page_bytes if page_bytes else 0.0
+            sp.set(pause_ns=pause_ns, root_scan_ns=root_scan_ns,
+                   mark_ns=mark_ns, sweep_ns=sweep_ns,
+                   marked=stats.marked_last_gc, reclaimed_objects=reclaimed,
+                   alloc_since_gc=alloc_since, live_bytes=live,
+                   live_objects=self.heap.objects_in_use,
+                   page_bytes=page_bytes,
+                   fragmentation=round(fragmentation, 4),
+                   threshold=self._threshold)
+        tracer.counter("gc.live_bytes", live)
+        tracer.counter("gc.live_objects", self.heap.objects_in_use)
+        tracer.counter("gc.page_bytes", page_bytes)
+        tracer.counter("gc.fragmentation", round(fragmentation, 4))
+        tracer.counter("gc.pause_ns", pause_ns)
         return reclaimed
 
-    def _mark(self) -> None:
+    def _mark(self, phases: dict[str, int] | None = None) -> None:
         # The mark phase is the collector's hot loop: every word of every
         # root range and every reachable object flows through here.  The
         # two-level page-table lookup is inlined (one bounds-free double
@@ -197,11 +294,14 @@ class Collector:
                 if addr + WORD_SIZE > chunk_end:
                     addr = page_end
 
+        t0 = time.perf_counter_ns() if phases is not None else 0
         for root in self._all_root_ranges():
             scan_words(root.start, root.end, True)
         for provider in self.dynamic_root_providers:
             for value in provider():
                 consider(value, True)
+        if phases is not None:
+            phases["root_scan_ns"] = time.perf_counter_ns() - t0
 
         while worklist:
             base, size = worklist.pop()
@@ -246,6 +346,12 @@ class Collector:
         every object carries an extra byte (see ``round_size``).
         """
         self.stats.checks_performed += 1
+        self.stats.same_obj_checks += 1
+        return self._same_obj(p, q)
+
+    def _same_obj(self, p: int, q: int) -> int:
+        """The check itself, with no stats accounting (``pre_incr`` /
+        ``post_incr`` delegate here and attribute to ``incr_checks``)."""
         q_base = self.heap.base_of(q)
         if q_base is None:
             return p
@@ -268,6 +374,7 @@ class Collector:
         ("It would again be possible to insert dynamic checks to verify
         this").  Null and non-heap pointers pass."""
         self.stats.checks_performed += 1
+        self.stats.base_checks += 1
         if p == 0:
             return p
         base = self.heap.base_of(p)
@@ -280,16 +387,20 @@ class Collector:
     def pre_incr(self, p_slot: int, delta: int) -> int:
         """GC_pre_incr(&p, n): p += n with a same-object check; returns
         the new value of p."""
+        self.stats.checks_performed += 1
+        self.stats.incr_checks += 1
         old = self.memory.load_word(p_slot)
         new = (old + delta) % (1 << 32)
-        self.same_obj(new, old)
+        self._same_obj(new, old)
         self.memory.store_word(p_slot, new)
         return new
 
     def post_incr(self, p_slot: int, delta: int) -> int:
         """GC_post_incr(&p, n): p += n with a check; returns the old p."""
+        self.stats.checks_performed += 1
+        self.stats.incr_checks += 1
         old = self.memory.load_word(p_slot)
         new = (old + delta) % (1 << 32)
-        self.same_obj(new, old)
+        self._same_obj(new, old)
         self.memory.store_word(p_slot, new)
         return old

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, replace
 from ..cfront.cpp import preprocess
 from ..cfront.parser import parse
 from ..cfront.typecheck import typecheck
+from ..obs import runtime as obs_runtime
 from ..core.annotate import AnnotateOptions, Annotator
 from ..gc.collector import Collector
 from .asm import MProgram
@@ -96,6 +97,21 @@ class CompiledProgram:
 def compile_source(source: str, config: CompileConfig | None = None) -> CompiledProgram:
     """Compile C source through the full pipeline for one configuration."""
     config = config or CompileConfig()
+    tracer = obs_runtime.get_tracer()
+    if not tracer.enabled:
+        return _compile(source, config)
+    with tracer.span("compile", optimize=config.optimize, safe=config.safe,
+                     checked=config.checked, model=config.model.name,
+                     passes=list(config.passes)) as sp:
+        compiled = _compile(source, config)
+        sp.set(code_size=compiled.asm.code_size(),
+               functions=len(compiled.asm.functions),
+               keep_lives=compiled.keep_lives)
+    return compiled
+
+
+def _compile(source: str, config: CompileConfig) -> CompiledProgram:
+    tracer = obs_runtime.get_tracer()
     if config.run_cpp:
         source = preprocess(source, config.include_dirs)
     unit = parse(source)
@@ -104,13 +120,22 @@ def compile_source(source: str, config: CompileConfig | None = None) -> Compiled
     if config.safe or config.checked:
         options = config.annotate_options or AnnotateOptions()
         options.mode = "checked" if config.checked else "safe"
-        result = Annotator(unit, options).run()
-        keep_lives = result.stats.keep_lives
+        with tracer.span("compile.annotate", mode=options.mode) as sp:
+            result = Annotator(unit, options).run()
+            keep_lives = result.stats.keep_lives
+            sp.set(keep_lives=keep_lives,
+                   temps_introduced=result.stats.temps_introduced,
+                   heuristic_replacements=result.stats.heuristic_replacements)
         symbols = typecheck(unit)
-    ir = lower_unit(unit, symbols, debug=not config.optimize,
-                    naive_keep_live=config.naive_keep_live)
+    with tracer.span("compile.lower", debug=not config.optimize) as sp:
+        ir = lower_unit(unit, symbols, debug=not config.optimize,
+                        naive_keep_live=config.naive_keep_live)
+        sp.set(functions=len(ir.functions),
+               ir_insts=sum(len(fn.insts) for fn in ir.functions.values()))
     opt = (lambda fn: optimize(fn, config.passes)) if config.optimize else None
-    asm = generate_program(ir, config.model, opt)
+    with tracer.span("compile.codegen", model=config.model.name) as sp:
+        asm = generate_program(ir, config.model, opt)
+        sp.set(code_size=asm.code_size())
     return CompiledProgram(asm, ir, config, keep_lives)
 
 

@@ -4,10 +4,19 @@ Order matters: local value numbering first (feeds everything), loop-
 invariant hoisting, strength reduction, the address-reassociation
 "disguising" pass, then dead-code elimination to sweep up, iterated to a
 fixpoint.
+
+When tracing is enabled (``repro.obs``), every pass invocation emits an
+``opt.<pass>`` span carrying the IR-size delta and a rewrite count —
+the number of instruction slots the pass touched, computed by
+fingerprinting the instruction list before/after (passes mutate
+``Inst`` objects in place, so identity alone cannot detect rewrites).
 """
 
+from __future__ import annotations
+
 from . import addrfold, deadcode, indvar, licm, local, strength
-from ..ir import IRFunc
+from ..ir import IRFunc, Inst
+from ...obs import runtime as obs_runtime
 
 DEFAULT_PASSES = ("local", "licm", "strength", "addrfold", "deadcode")
 
@@ -21,12 +30,54 @@ _PASS_FNS = {
 }
 
 
+def _fingerprint(inst: Inst) -> tuple:
+    return (inst.op, inst.dst, inst.args, inst.imm, inst.subop,
+            inst.width, inst.signed, inst.symbol)
+
+
+def _count_rewrites(before: list[tuple], after: list[tuple]) -> int:
+    """Instruction slots changed between two fingerprint lists: strip
+    the common prefix and suffix, count the differing middle (covers
+    in-place rewrites, insertions, and deletions alike)."""
+    lo = 0
+    hi_b, hi_a = len(before), len(after)
+    while lo < hi_b and lo < hi_a and before[lo] == after[lo]:
+        lo += 1
+    while hi_b > lo and hi_a > lo and before[hi_b - 1] == after[hi_a - 1]:
+        hi_b -= 1
+        hi_a -= 1
+    return max(hi_b - lo, hi_a - lo)
+
+
 def optimize(fn: IRFunc, passes: tuple[str, ...] = DEFAULT_PASSES,
              max_rounds: int = 4) -> None:
     """Run the pass pipeline over ``fn`` until a fixpoint (bounded)."""
-    for _ in range(max_rounds):
-        changed = False
-        for name in passes:
-            changed |= _PASS_FNS[name](fn)
-        if not changed:
-            return
+    tracer = obs_runtime.get_tracer()
+    if not tracer.enabled:
+        for _ in range(max_rounds):
+            changed = False
+            for name in passes:
+                changed |= _PASS_FNS[name](fn)
+            if not changed:
+                return
+        return
+    with tracer.span("opt.function", function=fn.name,
+                     insts_in=len(fn.insts)) as fsp:
+        rounds = 0
+        for rnd in range(max_rounds):
+            rounds = rnd + 1
+            changed = False
+            for name in passes:
+                before = [_fingerprint(i) for i in fn.insts]
+                with tracer.span(f"opt.{name}", function=fn.name,
+                                 round=rnd) as sp:
+                    pass_changed = _PASS_FNS[name](fn)
+                    after = [_fingerprint(i) for i in fn.insts]
+                    sp.set(changed=bool(pass_changed),
+                           insts_before=len(before), insts_after=len(after),
+                           insts_delta=len(after) - len(before),
+                           rewrites=_count_rewrites(before, after))
+                changed |= pass_changed
+            if not changed:
+                break
+        fsp.set(insts_out=len(fn.insts), rounds=rounds)

@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 
 from ..gc.collector import Collector, GCCheckError, RootRange
 from ..gc.memory import Memory, MemoryFault, PAGE_SIZE, STACK_TOP, STATIC_BASE
+from ..obs import runtime as obs_runtime
+from ..obs.vmprof import CHECK_BUILTINS, VMProfile
 from .asm import ALU_OPS, ARG_REGS, BRANCH_OPS, FP, MInst, MProgram, RV, SCRATCH, SP, UNARY_OPS
 from .models import MachineModel, SPARC_10
 
@@ -126,10 +128,17 @@ class VM:
     def __init__(self, program: MProgram, model: MachineModel = SPARC_10,
                  collector: Collector | None = None,
                  gc_interval: int = 0, stack_size: int = 1 << 20,
-                 max_instructions: int = 500_000_000):
+                 max_instructions: int = 500_000_000,
+                 profile: VMProfile | None = None):
         self.program = program
         self.model = model
         self.gc = collector if collector is not None else Collector()
+        # Hot-spot profiling is strictly opt-in: either an explicit
+        # profile or the process-wide sink (``repro.obs`` --profile).
+        # When None, the compiled closures below are the plain ones —
+        # the interpreter fast path is untouched.
+        self._profile = (profile if profile is not None
+                         else obs_runtime.session_profile())
         self.memory: Memory = self.gc.memory
         self.gc_interval = gc_interval
         self.max_instructions = max_instructions
@@ -222,7 +231,95 @@ class VM:
     def _compile_all(self) -> None:
         self._ops: dict[str, list] = {}
         for name, insts in self.code.items():
-            self._ops[name] = self._compile_function(insts, self.labels[name])
+            ops = self._compile_function(insts, self.labels[name])
+            if self._profile is not None:
+                ops = self._wrap_profiled(name, insts, ops)
+            self._ops[name] = ops
+
+    def _wrap_profiled(self, name: str, insts: list[MInst], ops: list) -> list:
+        """Wrap each compiled closure with a cycle-attribution shim (see
+        ``obs.vmprof`` for the attribution rules).  The shims only read
+        the shared counters, so instruction/cycle totals are identical
+        with and without profiling."""
+        prof = self._profile
+        st = self._st
+        regs = self.regs
+        vm = self
+        call_cost = self.model.cycles_for("call")
+        callr_cost = self.model.cycles_for("callr")
+
+        # Basic block of instruction i: the latest preceding label.
+        block = "entry"
+        block_of: list[str] = []
+        for inst in insts:
+            if inst.op == "label":
+                block = inst.symbol
+            block_of.append(block)
+
+        fcell = prof.func_cell(name)
+        wrapped: list = []
+        for i, (inst, op) in enumerate(zip(insts, ops)):
+            bcell = prof.block_cell(name, block_of[i])
+            if inst.op == "call" and inst.symbol not in BUILTINS:
+                # Compiled callee runs *inside* op(): attribute only the
+                # static call cost here; the callee's shims do the rest.
+                ccell = prof.func_cell(inst.symbol)
+
+                def w(pc, _op=op, _f=fcell, _b=bcell, _c=ccell,
+                      _cost=call_cost):
+                    # Attribute before executing: the callee may unwind
+                    # via exit() and never return here.
+                    _c[2] += 1
+                    _f[0] += _cost
+                    _f[1] += 1
+                    _b[0] += _cost
+                    _b[1] += 1
+                    return _op(pc)
+            elif inst.op == "callr":
+                rs1 = inst.rs1
+                site_block = block_of[i]
+
+                def w(pc, _op=op, _f=fcell, _b=bcell, _rs1=rs1, _i=i,
+                      _blk=site_block, _cost=callr_cost):
+                    callee = vm.addr_func.get(regs[_rs1])
+                    if callee is not None and callee not in BUILTINS:
+                        prof.func_cell(callee)[2] += 1
+                        _f[0] += _cost
+                        _f[1] += 1
+                        _b[0] += _cost
+                        _b[1] += 1
+                        return _op(pc)
+                    before = st[1]
+                    npc = _op(pc)
+                    d = st[1] - before
+                    if callee in CHECK_BUILTINS:
+                        prof.check_cell(name, _blk, _i, callee)[0] += 1
+                    _f[0] += d
+                    _f[1] += 1
+                    _b[0] += d
+                    _b[1] += 1
+                    return npc
+            else:
+                # Plain instructions and builtin calls: the measured
+                # cycle delta is exactly this instruction's cost (plus
+                # the builtin's extra cycles — builtins are leaves).
+                site = None
+                if inst.op == "call" and inst.symbol in CHECK_BUILTINS:
+                    site = prof.check_cell(name, block_of[i], i, inst.symbol)
+
+                def w(pc, _op=op, _f=fcell, _b=bcell, _site=site):
+                    before = st[1]
+                    npc = _op(pc)
+                    d = st[1] - before
+                    _f[0] += d
+                    _f[1] += 1
+                    _b[0] += d
+                    _b[1] += 1
+                    if _site is not None:
+                        _site[0] += 1
+                    return npc
+            wrapped.append(w)
+        return wrapped
 
     def _compile_function(self, insts: list[MInst], labels: dict[str, int]) -> list:
         """Translate an instruction list into a parallel list of
@@ -543,15 +640,29 @@ class VM:
             regs[ARG_REGS[i]] = a & _MASK
         start_checks = self.gc.stats.checks_performed
         start_colls = self.gc.stats.collections
-        try:
-            self._call(entry)
-            code = _signed(regs[RV])
-        except ExitProgram as ex:
-            code = ex.code
-        return RunResult(code, self._st[0], self._st[1],
-                         "".join(self.output),
-                         self.gc.stats.collections - start_colls,
-                         self.gc.stats.checks_performed - start_checks)
+        start_insts, start_cycles = self._st
+        if self._profile is not None:
+            self._profile.func_cell(entry)[2] += 1
+        tracer = obs_runtime.get_tracer()
+        span = tracer.span("vm.run", entry=entry, model=self.model.name,
+                           gc_interval=self.gc_interval)
+        with span:
+            try:
+                self._call(entry)
+                code = _signed(regs[RV])
+            except ExitProgram as ex:
+                code = ex.code
+            result = RunResult(code, self._st[0], self._st[1],
+                               "".join(self.output),
+                               self.gc.stats.collections - start_colls,
+                               self.gc.stats.checks_performed - start_checks)
+            span.set(exit_code=result.exit_code,
+                     instructions=result.instructions - start_insts,
+                     cycles=result.cycles - start_cycles,
+                     collections=result.collections, checks=result.checks)
+        if self._profile is not None:
+            self._profile.runs += 1
+        return result
 
     def _call(self, name: str) -> None:
         """Execute function ``name`` until it returns (recursive VM calls

@@ -1,0 +1,31 @@
+"""Observability layer: structured tracing, GC/heap timelines, VM
+hot-spot profiling, and the ``python -m repro.obs`` reporting CLI.
+
+Leaf modules (importable from anywhere, stdlib-only):
+
+* :mod:`repro.obs.tracer` — the event model and JSONL/Chrome exporters.
+* :mod:`repro.obs.vmprof` — the VM cycle-attribution profile.
+* :mod:`repro.obs.runtime` — process-wide tracer/profiler lookup.
+
+Higher layers (import the compiler/VM; never imported by them):
+
+* :mod:`repro.obs.report` — trace summarization and text rendering.
+* :mod:`repro.obs.cli` — ``record`` / ``report`` / ``trajectory``.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and workflows.
+"""
+
+from .runtime import (
+    disable_profiling, disable_tracing, enable_profiling, enable_tracing,
+    get_tracer, profiling_enabled, session_profile, set_tracer,
+    tracing_enabled,
+)
+from .tracer import SCHEMA, Span, TraceEvent, Tracer, load_jsonl
+from .vmprof import CHECK_BUILTINS, VMProfile
+
+__all__ = [
+    "disable_profiling", "disable_tracing", "enable_profiling",
+    "enable_tracing", "get_tracer", "profiling_enabled", "session_profile",
+    "set_tracer", "tracing_enabled", "SCHEMA", "Span", "TraceEvent",
+    "Tracer", "load_jsonl", "CHECK_BUILTINS", "VMProfile",
+]

@@ -1,0 +1,267 @@
+"""``python -m repro.obs`` — record and report telemetry.
+
+    python -m repro.obs record --workload cfrac --config O_safe
+        Compile + run one workload with tracing and profiling on; write
+        the JSONL trace (default obs-trace.jsonl) and print the compile
+        pipeline, GC pause, and VM hot-spot reports.
+
+    python -m repro.obs record --source prog.c --config g_checked --chrome t.json
+        Same for an arbitrary C file; also export a Chrome trace for
+        chrome://tracing / Perfetto.
+
+    python -m repro.obs report obs-trace.jsonl [--json]
+        Re-render the reports from a recorded trace.
+
+    python -m repro.obs trajectory --workload cfrac --out BENCH_obs.json
+        Run every config, append one perf-trajectory point (cycles,
+        wall time, GC pause totals per config) to the trajectory file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from . import runtime
+from .report import render_text, summarize
+from .tracer import load_jsonl
+from ..gc.collector import Collector, GCCheckError
+from ..machine.driver import CompileConfig, compile_source
+from ..machine.models import MODELS
+from ..machine.vm import VM, VMError
+from ..workloads import AUX_WORKLOADS, WORKLOADS, load_workload
+
+TRAJECTORY_SCHEMA = "repro-obs-bench/1"
+DEFAULT_TRAJECTORY_CONFIGS = ("O", "O_safe", "g", "g_checked")
+
+
+def _workload_source(name: str) -> tuple[str, str]:
+    if name not in WORKLOADS and name not in AUX_WORKLOADS:
+        known = ", ".join(list(WORKLOADS) + list(AUX_WORKLOADS))
+        raise SystemExit(f"error: unknown workload {name!r} (known: {known})")
+    spec = WORKLOADS.get(name) or AUX_WORKLOADS[name]
+    return load_workload(name), spec.stdin
+
+
+def _gc_stats_instant(tracer, collector: Collector) -> None:
+    """Close the trace with a self-contained GC stats snapshot (the
+    allocation histogram lives in GCStats, not in span args)."""
+    stats = collector.stats
+    tracer.instant(
+        "gc.stats",
+        collections=stats.collections,
+        bytes_allocated=stats.bytes_allocated,
+        objects_allocated=stats.objects_allocated,
+        objects_reclaimed=stats.objects_reclaimed,
+        bytes_reclaimed=stats.bytes_reclaimed,
+        live_bytes=stats.live_bytes,
+        live_objects=stats.live_objects,
+        checks_performed=stats.checks_performed,
+        same_obj_checks=stats.same_obj_checks,
+        incr_checks=stats.incr_checks,
+        base_checks=stats.base_checks,
+        gc_pause_ns=stats.gc_pause_ns,
+        root_scan_ns=stats.root_scan_ns,
+        mark_ns=stats.mark_ns,
+        sweep_ns=stats.sweep_ns,
+        max_pause_ns=stats.max_pause_ns,
+        alloc_histogram={str(k): v for k, v in
+                         sorted(stats.alloc_histogram.items())},
+    )
+
+
+def _record_one(source: str, stdin: str, config_name: str, model_key: str,
+                gc_interval: int, profile_on: bool):
+    """Run one compile+execute under a fresh tracer; return
+    (tracer, profile, collector, run result, wall seconds)."""
+    runtime.reset()
+    tracer = runtime.enable_tracing()
+    profile = runtime.enable_profiling() if profile_on else None
+    try:
+        config = CompileConfig.named(config_name, MODELS[model_key])
+        collector = Collector()
+        t0 = time.perf_counter()
+        compiled = compile_source(source, config)
+        vm = VM(compiled.asm, config.model, collector=collector,
+                gc_interval=gc_interval)
+        vm.stdin = stdin
+        result = vm.run()
+        wall_s = time.perf_counter() - t0
+        _gc_stats_instant(tracer, collector)
+    finally:
+        runtime.reset()
+    return tracer, profile, collector, result, wall_s
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    if bool(args.workload) == bool(args.source):
+        raise SystemExit("error: give exactly one of --workload / --source")
+    if args.workload:
+        source, stdin = _workload_source(args.workload)
+    else:
+        with open(args.source) as fh:
+            source = fh.read()
+        stdin = ""
+    if args.stdin:
+        with open(args.stdin) as fh:
+            stdin = fh.read()
+
+    try:
+        tracer, profile, collector, result, wall_s = _record_one(
+            source, stdin, args.config, args.model, args.gc_interval,
+            profile_on=not args.no_profile)
+    except (GCCheckError, VMError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    tracer.write_jsonl(args.out)
+    if args.chrome:
+        tracer.write_chrome(args.chrome)
+    summary = summarize(tracer.events, profile, top=args.top)
+    summary["run"] = {
+        "workload": args.workload, "source": args.source,
+        "config": args.config, "model": args.model,
+        "gc_interval": args.gc_interval, "exit_code": result.exit_code,
+        "cycles": result.cycles, "instructions": result.instructions,
+        "collections": result.collections, "checks": result.checks,
+        "wall_s": round(wall_s, 6),
+    }
+    if args.summary_json:
+        with open(args.summary_json, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if not args.quiet:
+        what = args.workload or args.source
+        print(f"recorded {what} [{args.config}/{args.model}]: "
+              f"exit={result.exit_code} cycles={result.cycles} "
+              f"instructions={result.instructions} "
+              f"collections={result.collections} wall={wall_s:.2f}s")
+        print(f"trace: {args.out} ({len(tracer.events)} events)"
+              + (f", chrome: {args.chrome}" if args.chrome else ""))
+        print()
+        print(render_text(summary, profile, top=args.top))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    events = load_jsonl(args.trace)
+    summary = summarize(events, top=args.top)
+    if args.json:
+        json.dump(summary, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(render_text(summary, top=args.top))
+    return 0
+
+
+def cmd_trajectory(args: argparse.Namespace) -> int:
+    source, stdin = _workload_source(args.workload)
+    configs = tuple(c.strip() for c in args.configs.split(",") if c.strip())
+    point: dict = {
+        "date": time.strftime("%Y-%m-%d"),
+        "workload": args.workload,
+        "model": args.model,
+        "label": args.label,
+        "configs": {},
+    }
+    for config_name in configs:
+        tracer, profile, collector, result, wall_s = _record_one(
+            source, stdin, config_name, args.model, args.gc_interval,
+            profile_on=False)
+        stats = collector.stats
+        point["configs"][config_name] = {
+            "exit_code": result.exit_code,
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "collections": result.collections,
+            "checks": result.checks,
+            "wall_s": round(wall_s, 4),
+            "gc_pause_ns": stats.gc_pause_ns,
+            "gc_root_scan_ns": stats.root_scan_ns,
+            "gc_mark_ns": stats.mark_ns,
+            "gc_sweep_ns": stats.sweep_ns,
+            "gc_max_pause_ns": stats.max_pause_ns,
+            "live_bytes_after": stats.live_bytes,
+        }
+        if not args.quiet:
+            print(f"{args.workload}/{config_name}/{args.model}: "
+                  f"cycles={result.cycles} wall={wall_s:.2f}s "
+                  f"gc_pause={stats.gc_pause_ns / 1e6:.2f}ms "
+                  f"collections={result.collections}", flush=True)
+
+    try:
+        with open(args.out) as fh:
+            doc = json.load(fh)
+        if doc.get("schema") != TRAJECTORY_SCHEMA:
+            raise SystemExit(f"error: {args.out} has unexpected schema "
+                             f"{doc.get('schema')!r}")
+    except FileNotFoundError:
+        doc = {"schema": TRAJECTORY_SCHEMA, "points": []}
+    doc["points"].append(point)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if not args.quiet:
+        print(f"appended trajectory point #{len(doc['points'])} to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Telemetry: record traces, render reports, track the "
+                    "perf trajectory")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("record", help="trace + profile one workload run")
+    p.add_argument("--workload", default=None,
+                   help=f"workload name ({', '.join(WORKLOADS)}, "
+                        f"{', '.join(AUX_WORKLOADS)})")
+    p.add_argument("--source", default=None, metavar="FILE",
+                   help="C source file instead of a named workload")
+    p.add_argument("--config", default="O_safe",
+                   choices=("O0", "O", "O_safe", "g", "g_checked"))
+    p.add_argument("--model", choices=tuple(MODELS), default="ss10")
+    p.add_argument("--gc-interval", type=int, default=0)
+    p.add_argument("--stdin", default=None, metavar="FILE")
+    p.add_argument("--out", default="obs-trace.jsonl", metavar="FILE",
+                   help="JSONL trace output (default: obs-trace.jsonl)")
+    p.add_argument("--chrome", default=None, metavar="FILE",
+                   help="also export a chrome://tracing JSON trace")
+    p.add_argument("--summary-json", default=None, metavar="FILE",
+                   help="write the summary dict as JSON")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the hot-spot tables")
+    p.add_argument("--no-profile", action="store_true",
+                   help="skip VM hot-spot profiling (trace only)")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(fn=cmd_record)
+
+    p = sub.add_parser("report", help="render reports from a JSONL trace")
+    p.add_argument("trace")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("trajectory",
+                       help="append a perf-trajectory point to BENCH_obs.json")
+    p.add_argument("--workload", default="cfrac")
+    p.add_argument("--model", choices=tuple(MODELS), default="ss10")
+    p.add_argument("--configs", default=",".join(DEFAULT_TRAJECTORY_CONFIGS))
+    p.add_argument("--gc-interval", type=int, default=0)
+    p.add_argument("--out", default="BENCH_obs.json")
+    p.add_argument("--label", default="")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(fn=cmd_trajectory)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Process-wide telemetry session state.
+
+Subsystems (collector, VM, compile pipeline) look up the active tracer
+and profiling sink here, so *any* entry point — the repro CLI, the fuzz
+CLI, pytest, the bench harness — can turn telemetry on without the code
+in between threading tracer objects through every call:
+
+    from repro.obs import runtime
+    tracer = runtime.enable_tracing()      # spans/counters start recording
+    runtime.enable_profiling()             # every VM built from now on
+    ...                                    #   accumulates into one profile
+    tracer.write_jsonl("trace.jsonl")
+    print(runtime.session_profile().render_report())
+
+The default state is a *disabled* tracer and no profiling sink: the
+instrumented code paths all reduce to one attribute test (see
+``tracer.Tracer``), and VMs compile their plain un-wrapped closures.
+
+This module must stay import-cycle-free: it may import only
+``obs.tracer`` and ``obs.vmprof`` (both stdlib-only leaves).
+"""
+
+from __future__ import annotations
+
+from .tracer import Tracer
+from .vmprof import VMProfile
+
+_tracer: Tracer = Tracer(enabled=False)
+_profile: VMProfile | None = None
+
+
+def get_tracer() -> Tracer:
+    """The active process-wide tracer (disabled by default)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    global _tracer
+    _tracer = tracer
+    return tracer
+
+
+def enable_tracing(clock=None) -> Tracer:
+    """Install and return a fresh enabled tracer."""
+    return set_tracer(Tracer(enabled=True, clock=clock))
+
+
+def disable_tracing() -> None:
+    set_tracer(Tracer(enabled=False))
+
+
+def tracing_enabled() -> bool:
+    return _tracer.enabled
+
+
+def enable_profiling() -> VMProfile:
+    """Install a session-wide VM profile sink.  Every VM constructed
+    while the sink is active attributes its execution into it."""
+    global _profile
+    if _profile is None:
+        _profile = VMProfile(tag="session")
+    return _profile
+
+
+def disable_profiling() -> None:
+    global _profile
+    _profile = None
+
+
+def profiling_enabled() -> bool:
+    return _profile is not None
+
+
+def session_profile() -> VMProfile | None:
+    """The active profile sink (None when profiling is off)."""
+    return _profile
+
+
+def reset() -> None:
+    """Restore the default (disabled) state — used by tests and CLIs."""
+    global _profile
+    disable_tracing()
+    _profile = None

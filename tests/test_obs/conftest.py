@@ -1,0 +1,11 @@
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_runtime():
+    """Telemetry state is process-wide; never leak it between tests."""
+    runtime.reset()
+    yield
+    runtime.reset()

@@ -1,0 +1,49 @@
+"""Bench-harness telemetry: per-cell summaries attach only when the
+session tracer is on, typed peephole stats flow into the T5 report."""
+
+import pytest
+
+from repro.bench.harness import Harness
+from repro.bench.tables import render_postproc_table
+from repro.obs import runtime
+from repro.postproc.peephole import PeepholeStats
+
+
+class TestCellTelemetry:
+    def test_disabled_by_default(self):
+        cell = Harness("ss10").run_cell("miniawk", "O")
+        assert cell.telemetry is None
+
+    def test_summary_attached_when_tracing(self):
+        runtime.enable_tracing()
+        cell = Harness("ss10").run_cell("miniawk", "O_safe")
+        runtime.reset()
+        t = cell.telemetry
+        assert t["schema"] == "repro-obs-summary/1"
+        assert t["compile"]["units"] == 1
+        assert t["vm"]["runs"] == 1
+        assert t["vm"]["cycles"] == cell.cycles
+
+    def test_cells_sliced_per_run(self):
+        runtime.enable_tracing()
+        harness = Harness("ss10")
+        a = harness.run_cell("miniawk", "O")
+        b = harness.run_cell("miniawk", "g")
+        runtime.reset()
+        # Each summary covers only its own cell's events.
+        assert a.telemetry["vm"]["cycles"] == a.cycles
+        assert b.telemetry["vm"]["cycles"] == b.cycles
+        assert a.cycles != b.cycles
+
+
+class TestPeepholeStats:
+    def test_typed_and_reported(self):
+        harness = Harness("ss10")
+        cells = harness.run_postproc_row("miniawk")
+        stats = cells["O_safe_pp"].peephole_stats
+        assert isinstance(stats, PeepholeStats)
+        assert stats.total > 0
+        assert cells["O_safe"].peephole_stats is None
+        table = render_postproc_table({"miniawk": cells})
+        assert "peephole rewrites" in table
+        assert f"({stats.total} total)" in table

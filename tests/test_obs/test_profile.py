@@ -1,0 +1,137 @@
+"""VM hot-spot profiler: attribution must be *exact* — every simulated
+cycle and instruction lands in exactly one function/block cell — and
+attaching a profile must never change the simulated counts."""
+
+import pytest
+
+from repro.gc import Collector
+from repro.machine import CompileConfig, VM, compile_source
+from repro.machine.models import MODELS
+from repro.obs import runtime
+from repro.obs.vmprof import CHECK_BUILTINS, VMProfile
+
+PROGRAM = """
+struct node { int v; struct node *next; };
+struct node *cons(int v, struct node *rest) {
+    struct node *n = (struct node *)GC_malloc(sizeof(struct node));
+    n->v = v;
+    n->next = rest;
+    return n;
+}
+int total(struct node *list) {
+    int s = 0;
+    for (; list; list = list->next) s += list->v;
+    return s;
+}
+int main(void) {
+    struct node *list = 0;
+    int i;
+    for (i = 0; i < 30; i++) list = cons(i, list);
+    return total(list) & 0xFF;
+}
+"""
+
+
+def run_with_profile(config_name="O_safe", model_key="ss10", source=PROGRAM,
+                     gc_interval=0):
+    config = CompileConfig.named(config_name, MODELS[model_key])
+    compiled = compile_source(source, config)
+    profile = VMProfile()
+    vm = VM(compiled.asm, config.model, collector=Collector(),
+            gc_interval=gc_interval, profile=profile)
+    result = vm.run()
+    return result, profile
+
+
+class TestAttributionInvariants:
+    @pytest.mark.parametrize("config", ("O", "O_safe", "g", "g_checked"))
+    def test_totals_are_exact(self, config):
+        result, profile = run_with_profile(config)
+        assert profile.total_cycles == result.cycles
+        assert profile.total_instructions == result.instructions
+
+    def test_blocks_sum_to_functions(self):
+        result, profile = run_with_profile()
+        for name, (cycles, insts, _calls) in profile.funcs.items():
+            bc = sum(c[0] for (f, _b), c in profile.blocks.items() if f == name)
+            bi = sum(c[1] for (f, _b), c in profile.blocks.items() if f == name)
+            assert bc == cycles, name
+            assert bi == insts, name
+
+    def test_call_counts(self):
+        result, profile = run_with_profile()
+        assert profile.funcs["main"][2] == 1
+        assert profile.funcs["cons"][2] == 30
+        assert profile.funcs["total"][2] == 1
+        assert profile.runs == 1
+
+    def test_counts_identical_with_and_without_profile(self):
+        config = CompileConfig.named("O_safe", MODELS["ss10"])
+        compiled = compile_source(PROGRAM, config)
+        plain = VM(compiled.asm, config.model, collector=Collector(),
+                   profile=None).run()
+        result, profile = run_with_profile("O_safe")
+        assert (plain.cycles, plain.instructions, plain.collections) == \
+               (result.cycles, result.instructions, result.collections)
+        assert plain.exit_code == result.exit_code
+
+    def test_exact_under_adversarial_collection(self):
+        result, profile = run_with_profile("O_safe", gc_interval=1)
+        assert result.collections > 0
+        assert profile.total_cycles == result.cycles
+        assert profile.total_instructions == result.instructions
+
+
+class TestCheckSites:
+    def test_checked_build_records_check_sites(self):
+        result, profile = run_with_profile("g_checked")
+        assert result.checks > 0
+        sites = profile.check_sites(top=0 or 100)
+        assert sites, "g_checked build must hit pointer-check builtins"
+        for func, block, pc, builtin, count in sites:
+            assert builtin in CHECK_BUILTINS
+            assert count > 0
+        # Site counts add up to the collector's per-kind totals.
+        assert sum(c for *_x, c in sites) <= result.checks * 2
+
+    def test_unchecked_build_has_no_check_sites(self):
+        _result, profile = run_with_profile("O")
+        assert profile.checks == {}
+
+
+class TestProfileAggregation:
+    def test_merge(self):
+        _r1, p1 = run_with_profile("O")
+        _r2, p2 = run_with_profile("O")
+        merged = VMProfile()
+        merged.merge(p1)
+        merged.merge(p2)
+        assert merged.total_cycles == p1.total_cycles + p2.total_cycles
+        assert merged.runs == 2
+        assert merged.funcs["cons"][2] == 60
+
+    def test_render_and_to_dict(self):
+        result, profile = run_with_profile("g_checked")
+        text = profile.render_report(top=5)
+        assert "top functions" in text and "main" in text
+        assert "pointer-check call sites" in text
+        d = profile.to_dict(top=3)
+        assert d["total_cycles"] == result.cycles
+        assert len(d["functions"]) <= 3
+        assert all(f["cycles"] >= 0 for f in d["functions"])
+
+
+class TestSessionProfileWiring:
+    def test_vm_picks_up_session_sink(self):
+        profile = runtime.enable_profiling()
+        config = CompileConfig.named("O", MODELS["ss10"])
+        compiled = compile_source(PROGRAM, config)
+        result = VM(compiled.asm, config.model, collector=Collector()).run()
+        assert profile.total_cycles == result.cycles
+        assert profile.runs == 1
+
+    def test_no_sink_by_default(self):
+        config = CompileConfig.named("O", MODELS["ss10"])
+        compiled = compile_source(PROGRAM, config)
+        vm = VM(compiled.asm, config.model, collector=Collector())
+        assert vm._profile is None

@@ -1,0 +1,136 @@
+"""Summary aggregation (``repro-obs-summary/1``) and text rendering,
+on synthetic events and on a real recorded run."""
+
+from repro.gc import Collector
+from repro.machine import CompileConfig, VM, compile_source
+from repro.machine.models import MODELS
+from repro.obs import runtime
+from repro.obs.report import (SUMMARY_SCHEMA, render_compile_report,
+                              render_gc_report, render_text, render_vm_report,
+                              summarize)
+from repro.obs.tracer import Tracer
+
+PROGRAM = """
+int main(void) {
+    char *p;
+    int i, s = 0;
+    for (i = 0; i < 40; i++) {
+        p = (char *)GC_malloc(32);
+        p[0] = (char)i;
+        s += p[0];
+    }
+    return s & 0xFF;
+}
+"""
+
+
+def synthetic_events():
+    return [
+        {"kind": "span", "name": "compile", "t0": 0, "dur": 1000},
+        {"kind": "span", "name": "cfront.parse", "t0": 10, "dur": 200},
+        {"kind": "span", "name": "cfront.parse", "t0": 300, "dur": 100},
+        {"kind": "span", "name": "opt.local", "t0": 400, "dur": 50,
+         "args": {"rewrites": 3, "insts_delta": -2, "changed": True}},
+        {"kind": "span", "name": "opt.local", "t0": 500, "dur": 50,
+         "args": {"rewrites": 0, "insts_delta": 0, "changed": False}},
+        {"kind": "span", "name": "opt.function", "t0": 390, "dur": 200},
+        {"kind": "span", "name": "gc.collect", "t0": 600, "dur": 120,
+         "args": {"number": 1, "pause_ns": 120, "root_scan_ns": 20,
+                  "mark_ns": 40, "sweep_ns": 60, "marked": 7,
+                  "reclaimed_objects": 3, "alloc_since_gc": 512,
+                  "live_bytes": 2048, "live_objects": 7,
+                  "fragmentation": 0.25}},
+        {"kind": "span", "name": "gc.collect", "t0": 800, "dur": 80,
+         "args": {"number": 2, "pause_ns": 80, "root_scan_ns": 10,
+                  "mark_ns": 30, "sweep_ns": 40, "marked": 5,
+                  "reclaimed_objects": 2, "alloc_since_gc": 256,
+                  "live_bytes": 1024, "live_objects": 5,
+                  "fragmentation": 0.5}},
+        {"kind": "span", "name": "vm.run", "t0": 550, "dur": 5000,
+         "args": {"cycles": 900, "instructions": 800, "collections": 2,
+                  "checks": 4}},
+        {"kind": "instant", "name": "gc.stats", "t0": 900,
+         "args": {"alloc_histogram": {"6": 40}}},
+    ]
+
+
+class TestSummarize:
+    def test_schema_and_sections(self):
+        s = summarize(synthetic_events())
+        assert s["schema"] == SUMMARY_SCHEMA
+        assert set(s) >= {"compile", "gc", "vm"}
+
+    def test_compile_aggregation(self):
+        s = summarize(synthetic_events())
+        comp = s["compile"]
+        assert comp["units"] == 1 and comp["total_ns"] == 1000
+        assert comp["phases"]["cfront.parse"] == {"ns": 300, "count": 2}
+        local = comp["opt_passes"]["local"]
+        assert local == {"ns": 100, "runs": 2, "rewrites": 3,
+                         "insts_delta": -2, "changed_runs": 1}
+        # opt.function is the per-function envelope, not a pass.
+        assert "function" not in comp["opt_passes"]
+
+    def test_gc_aggregation(self):
+        gc = summarize(synthetic_events())["gc"]
+        assert gc["collections"] == 2
+        assert gc["pause_ns_total"] == 200
+        assert gc["pause_ns_max"] == 120
+        assert gc["pause_ns_avg"] == 100
+        assert gc["root_scan_ns"] == 30
+        assert gc["mark_ns"] == 70
+        assert gc["sweep_ns"] == 100
+        assert gc["reclaimed_objects"] == 5
+        assert gc["live_bytes_last"] == 1024
+        assert len(gc["timeline"]) == 2
+        assert gc["stats"]["alloc_histogram"] == {"6": 40}
+
+    def test_vm_aggregation(self):
+        vm = summarize(synthetic_events())["vm"]
+        assert vm == {"runs": 1, "wall_ns": 5000, "cycles": 900,
+                      "instructions": 800, "collections": 2, "checks": 4}
+
+    def test_accepts_trace_events_and_dicts(self):
+        tr = Tracer()
+        with tr.span("compile"):
+            pass
+        assert summarize(tr.events)["compile"]["units"] == 1
+        assert summarize([e.to_json() for e in tr.events]
+                         )["compile"]["units"] == 1
+
+
+class TestRenderText:
+    def test_sections_render(self):
+        s = summarize(synthetic_events())
+        text = render_text(s)
+        assert "Compile pipeline" in text
+        assert "optimizer passes" in text
+        assert "GC: 2 collection(s)" in text
+        assert "root-scan" in text
+        assert "allocation-size histogram" in text
+        assert "VM: 1 run(s)" in text
+
+    def test_empty_trace_renders(self):
+        s = summarize([])
+        assert "no collections" in render_gc_report(s)
+        assert "no runs" in render_vm_report(s)
+        assert "0 unit(s)" in render_compile_report(s)
+
+
+class TestEndToEndSummary:
+    def test_real_run_summary(self):
+        tracer = runtime.enable_tracing()
+        profile = runtime.enable_profiling()
+        config = CompileConfig.named("g_checked", MODELS["ss10"])
+        compiled = compile_source(PROGRAM, config)
+        result = VM(compiled.asm, config.model, collector=Collector(),
+                    gc_interval=100).run()
+        runtime.reset()
+        s = summarize(tracer.events, profile)
+        assert s["compile"]["units"] == 1
+        assert s["compile"]["phases"]["cfront.parse"]["count"] == 1
+        assert s["vm"]["cycles"] == result.cycles
+        assert s["gc"]["collections"] == result.collections > 0
+        assert s["profile"]["total_cycles"] == result.cycles
+        text = render_text(s, profile)
+        assert "VM hot-spot profile" in text

@@ -1,0 +1,180 @@
+"""Tracer core: span nesting/ordering, the JSONL and Chrome trace
+schemas (golden-tested with an injected deterministic clock), and the
+disabled fast path."""
+
+import json
+
+import pytest
+
+from repro.obs.tracer import (NULL_SPAN, SCHEMA, Span, TraceEvent, Tracer,
+                              load_jsonl, _NullSpan)
+
+
+def fake_clock(step=10):
+    """Deterministic ns clock: 0, step, 2*step, ... per call."""
+    state = {"t": -step}
+
+    def clock():
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+class TestSpanNesting:
+    def test_ids_assigned_in_start_order(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("outer"):
+            with tr.span("inner_a"):
+                pass
+            with tr.span("inner_b"):
+                pass
+        by_name = {e.name: e for e in tr.events}
+        assert by_name["outer"].id == 1
+        assert by_name["inner_a"].id == 2
+        assert by_name["inner_b"].id == 3
+
+    def test_parent_and_depth(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("a"):
+            with tr.span("b"):
+                with tr.span("c"):
+                    pass
+        by_name = {e.name: e for e in tr.events}
+        assert by_name["a"].parent == 0 and by_name["a"].depth == 0
+        assert by_name["b"].parent == by_name["a"].id and by_name["b"].depth == 1
+        assert by_name["c"].parent == by_name["b"].id and by_name["c"].depth == 2
+
+    def test_events_list_is_end_ordered_sorted_is_start_ordered(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        # Raw list appends on span end: inner finishes first.
+        assert [e.name for e in tr.events] == ["inner", "outer"]
+        assert [e.name for e in tr.sorted_events()] == ["outer", "inner"]
+
+    def test_durations_cover_children(self):
+        tr = Tracer(clock=fake_clock(step=10))
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        by_name = {e.name: e for e in tr.events}
+        assert by_name["inner"].dur > 0
+        assert by_name["outer"].dur > by_name["inner"].dur
+        assert by_name["outer"].t0 <= by_name["inner"].t0
+
+    def test_set_merges_args(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("s", a=1) as sp:
+            sp.set(b=2)
+            sp.set(a=3)
+        assert tr.events[0].args == {"a": 3, "b": 2}
+
+    def test_exception_unwinds_stack(self):
+        tr = Tracer(clock=fake_clock())
+        with pytest.raises(RuntimeError):
+            with tr.span("outer"):
+                with tr.span("inner"):
+                    raise RuntimeError("boom")
+        # Both spans finalized despite the exception; stack is empty.
+        assert {e.name for e in tr.events} == {"outer", "inner"}
+        assert tr._stack == []
+        with tr.span("after"):
+            pass
+        assert tr.events[-1].name == "after"
+        assert tr.events[-1].depth == 0
+
+
+class TestCountersAndInstants:
+    def test_counter_records_value(self):
+        tr = Tracer(clock=fake_clock())
+        tr.counter("heap.bytes", 4096, number=1)
+        e = tr.events[0]
+        assert e.kind == "counter" and e.value == 4096
+        assert e.args == {"number": 1}
+
+    def test_instant_records_args(self):
+        tr = Tracer(clock=fake_clock())
+        tr.instant("gc.stats", collections=2)
+        e = tr.events[0]
+        assert e.kind == "instant" and e.args == {"collections": 2}
+
+
+class TestDisabledFastPath:
+    def test_disabled_span_is_the_null_singleton(self):
+        tr = Tracer(enabled=False)
+        sp = tr.span("anything", x=1)
+        assert sp is NULL_SPAN
+        assert isinstance(sp, _NullSpan)
+        with sp as inner:
+            inner.set(ignored=True)
+        assert tr.events == []
+
+    def test_disabled_counter_and_instant_record_nothing(self):
+        tr = Tracer(enabled=False)
+        tr.counter("c", 1)
+        tr.instant("i")
+        assert tr.events == []
+
+
+# Clock reads, step=10: construction (epoch=0), compile start (10),
+# parse start (20), parse end (30), compile end (40), counter (50),
+# instant (60).  t0 values are relative to the epoch.
+GOLDEN_JSONL = [
+    {"kind": "meta", "schema": "repro-obs-trace/1", "unit": "ns"},
+    {"kind": "span", "name": "compile", "t0": 10, "id": 1, "parent": 0,
+     "depth": 0, "dur": 30, "args": {"optimize": True}},
+    {"kind": "span", "name": "cfront.parse", "t0": 20, "id": 2, "parent": 1,
+     "depth": 1, "dur": 10},
+    {"kind": "counter", "name": "gc.live_bytes", "t0": 50, "value": 128},
+    {"kind": "instant", "name": "gc.stats", "t0": 60,
+     "args": {"collections": 0}},
+]
+
+
+def golden_tracer():
+    tr = Tracer(clock=fake_clock(step=10))
+    with tr.span("compile", optimize=True):
+        with tr.span("cfront.parse"):
+            pass
+    tr.counter("gc.live_bytes", 128)
+    tr.instant("gc.stats", collections=0)
+    return tr
+
+
+class TestJsonlSchema:
+    def test_golden_jsonl(self, tmp_path):
+        tr = golden_tracer()
+        path = tmp_path / "trace.jsonl"
+        tr.write_jsonl(str(path))
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines == GOLDEN_JSONL
+
+    def test_load_jsonl_roundtrip(self, tmp_path):
+        tr = golden_tracer()
+        path = tmp_path / "trace.jsonl"
+        tr.write_jsonl(str(path))
+        events = load_jsonl(str(path))
+        # Meta line excluded; event payloads match to_json output.
+        assert events == [e.to_json() for e in tr.sorted_events()]
+
+    def test_schema_constant(self):
+        assert SCHEMA == "repro-obs-trace/1"
+
+
+class TestChromeExport:
+    def test_chrome_shape(self, tmp_path):
+        tr = golden_tracer()
+        doc = tr.to_chrome()
+        assert doc["otherData"]["schema"] == SCHEMA
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        assert phases == ["X", "X", "C", "i"]
+        span = doc["traceEvents"][0]
+        assert span["name"] == "compile"
+        assert span["ts"] == 0.01 and span["dur"] == 0.03  # ns -> us
+        counter = doc["traceEvents"][2]
+        assert counter["args"] == {"gc.live_bytes": 128}
+        path = tmp_path / "chrome.json"
+        tr.write_chrome(str(path))
+        assert json.loads(path.read_text()) == doc
