@@ -13,12 +13,19 @@
         output and a run summary.
 
     python -m repro bench [--model ss10] [--workloads w1,w2,...]
-        Print the slowdown table for one machine model.
+                          [--workers N] [--cache-dir DIR]
+        Print the slowdown table for one machine model; ``--workers``
+        shards the cells across processes (byte-identical table).
+
+    python -m repro cache stats|clear|verify [--cache-dir DIR]
+        Inspect / wipe / checksum-verify the content-addressed caches.
 
 Every subcommand also accepts the telemetry flags ``--trace FILE``
 (write a JSONL trace of compile-pipeline spans, GC pauses, and VM runs;
 load in ``python -m repro.obs report`` or convert for chrome://tracing)
-and ``--profile`` (print the VM hot-spot table to stderr on exit).
+and ``--profile`` (print the VM hot-spot table to stderr on exit);
+``cc`` and ``bench`` accept ``--cache-dir DIR`` to memoize compiles and
+executed benchmark cells across invocations.
 """
 
 from __future__ import annotations
@@ -29,6 +36,8 @@ import sys
 from .cfront.errors import CFrontError
 from .core.annotate import AnnotateOptions
 from .core.api import annotate_source, check_source
+from .exec import cache as exec_cache
+from .exec.cli import add_cache_parser, resolve_cache_dir
 from .gc.collector import Collector, GCCheckError
 from .machine.driver import CompileConfig, compile_source
 from .machine.models import MODELS
@@ -108,7 +117,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     table_key = {"ss2": "t1_ss2", "ss10": "t2_ss10", "p90": "t3_p90"}[args.model]
     harness = Harness(args.model)
     workloads = tuple(args.workloads.split(",")) if args.workloads else None
-    rows = harness.run_all(workloads)
+    rows = harness.run_all(workloads, workers=args.workers)
     print(render_slowdown_table(
         rows, table_key, f"Slowdowns on {harness.model.name}"))
     return 0
@@ -119,6 +128,12 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
                    help="write a JSONL telemetry trace of this run")
     p.add_argument("--profile", action="store_true",
                    help="print the VM hot-spot profile to stderr")
+
+
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="enable the content-addressed compile/result "
+                        "caches rooted at DIR (default: $REPRO_CACHE_DIR)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -157,13 +172,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stdin")
     p.add_argument("--dump-asm", action="store_true")
     _add_obs_args(p)
+    _add_cache_args(p)
     p.set_defaults(fn=cmd_cc)
 
     p = sub.add_parser("bench", help="print one slowdown table")
     p.add_argument("--model", choices=tuple(MODELS), default="ss10")
     p.add_argument("--workloads", default="")
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard benchmark cells across N worker processes")
     _add_obs_args(p)
+    _add_cache_args(p)
     p.set_defaults(fn=cmd_bench)
+
+    add_cache_parser(sub)
     return parser
 
 
@@ -172,6 +193,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     trace_file = getattr(args, "trace", None)
     profile_on = getattr(args, "profile", False)
+    cache_dir = (resolve_cache_dir(getattr(args, "cache_dir", None))
+                 if args.command != "cache" else None)
+    caches = ()
+    if cache_dir:
+        caches = exec_cache.open_caches(cache_dir)
+        for cache in caches:
+            exec_cache.install_cache(cache)
     if trace_file:
         obs_runtime.enable_tracing()
     if profile_on:
@@ -193,6 +221,13 @@ def main(argv: list[str] | None = None) -> int:
             print(profile.render_report(), file=sys.stderr)
         if trace_file or profile_on:
             obs_runtime.reset()
+        for cache in caches:
+            s = cache.stats
+            print(f"! cache[{cache.kind}]: {s.hits} hits, {s.misses} misses, "
+                  f"{s.stores} stores, {s.corrupt_evicted} evicted",
+                  file=sys.stderr)
+        if caches:
+            exec_cache.uninstall_cache()
 
 
 if __name__ == "__main__":

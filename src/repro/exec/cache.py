@@ -1,0 +1,371 @@
+"""Content-addressed on-disk caches for the compile pipeline.
+
+Two tiers, one mechanism:
+
+* :class:`CompileCache` (kind ``"compile"``) memoizes the full
+  cfront → annotate → lower → opt → codegen pipeline at the linked
+  :class:`~repro.machine.driver.CompiledProgram` boundary.
+* :class:`ResultCache` (kind ``"result"``) memoizes one *executed*
+  benchmark cell (a :class:`~repro.bench.harness.CellResult`) — sound
+  because the VM is a deterministic simulator: cycles, GC counts, and
+  output are pure functions of (program, model, stdin, gc settings).
+
+Key anatomy — the SHA-256 of a canonical JSON object::
+
+    {"schema":  CODE_VERSION,          # code-version salt; bump on any
+                                       #   change to pipeline output
+     "extra":   [..salt_context tags], # e.g. test-only broken passes
+     "source":  <full source text>,
+     "config":  {optimize, safe, checked, model, passes,
+                 naive_keep_live, run_cpp, annotate:{...}}}
+
+and for result-cache keys additionally the run parameters
+``{compile_key, stdin, gc_interval, poison, postprocessed, entry,
+max_instructions}``.  Any component changing — one config flag, one
+optimizer pass, the salt — produces a different address, so
+"invalidation" is structural: stale entries are simply never addressed
+again.  Sources that pull in out-of-band bytes (``#include``) are not
+cacheable, since the key could not see the included text change.
+
+Entry format: ``<root>/<key[:2]>/<key>.bin`` containing an 8-byte magic,
+the SHA-256 of the payload, then the pickled payload.  Reads verify the
+checksum; a corrupted entry (truncation, flipped bytes, bad pickle) is
+*evicted* and reported as a miss, so the caller transparently
+recompiles.  Writes are atomic (``os.replace`` of a same-directory temp
+file), so concurrent workers racing on one key at worst both store the
+same bytes.
+
+Hit/miss/eviction counters live on :attr:`_DiskCache.stats`, are merged
+across engine workers, surface as ``cache.hit`` / ``cache.miss`` /
+``cache.evict`` instants on the active tracer, and drive the
+``repro cache stats|clear|verify`` CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..obs import runtime as obs_runtime
+
+# Bump whenever any pipeline stage may produce different output for the
+# same (source, config): it salts every key, orphaning old entries.
+CODE_VERSION = "repro-exec-cache/1"
+
+_MAGIC = b"RPROCC01"
+_DIGEST_LEN = 32
+
+# Extra salt tags pushed by salt_context() — test hooks that perturb
+# pipeline behavior without changing any key component (e.g. the
+# re-broken addrfold pass) MUST wrap themselves in one.
+_extra_salt: list[str] = []
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt_evicted: int = 0
+    cleared: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores,
+                "corrupt_evicted": self.corrupt_evicted,
+                "cleared": self.cleared}
+
+    def merge(self, other: "CacheStats | dict") -> "CacheStats":
+        d = other.to_dict() if isinstance(other, CacheStats) else other
+        for name, value in d.items():
+            setattr(self, name, getattr(self, name) + int(value))
+        return self
+
+
+def _canonical_key(obj: Any) -> str:
+    blob = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config) -> dict[str, Any] | None:
+    """The key-relevant view of a ``CompileConfig``; None if the
+    configuration is not cacheable (out-of-band inputs)."""
+    if config.include_dirs:
+        return None
+    ann = config.annotate_options
+    return {
+        "optimize": config.optimize,
+        "safe": config.safe,
+        "checked": config.checked,
+        "model": config.model.name,
+        "passes": list(config.passes),
+        "naive_keep_live": config.naive_keep_live,
+        "run_cpp": config.run_cpp,
+        "annotate": None if ann is None else {
+            name: getattr(ann, name)
+            for name in sorted(ann.__dataclass_fields__)},
+    }
+
+
+class _DiskCache:
+    """Shared content-addressed store; subclasses define key schemas."""
+
+    kind = "generic"
+
+    def __init__(self, root: str, salt: str = CODE_VERSION):
+        self.root = os.path.abspath(root)
+        self.salt = salt
+        self.stats = CacheStats()
+
+    # -- keys --------------------------------------------------------------
+
+    def _key(self, body: dict[str, Any]) -> str:
+        return _canonical_key({"schema": self.salt, "kind": self.kind,
+                               "extra": list(_extra_salt), **body})
+
+    # -- storage -----------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".bin")
+
+    def get(self, key: str) -> Any | None:
+        """Load + verify one entry; corrupt entries are evicted."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            self.stats.misses += 1
+            self._instant("cache.miss", key)
+            return None
+        payload = self._verified_payload(blob)
+        if payload is None:
+            self._evict(path, key)
+            self.stats.misses += 1
+            return None
+        try:
+            value = pickle.loads(payload)
+        except Exception:
+            self._evict(path, key)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._instant("cache.hit", key)
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = _MAGIC + hashlib.sha256(payload).digest() + payload
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-" + key[:8])
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    @staticmethod
+    def _verified_payload(blob: bytes) -> bytes | None:
+        if len(blob) < len(_MAGIC) + _DIGEST_LEN:
+            return None
+        if blob[:len(_MAGIC)] != _MAGIC:
+            return None
+        digest = blob[len(_MAGIC):len(_MAGIC) + _DIGEST_LEN]
+        payload = blob[len(_MAGIC) + _DIGEST_LEN:]
+        if hashlib.sha256(payload).digest() != digest:
+            return None
+        return payload
+
+    def _evict(self, path: str, key: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        self.stats.corrupt_evicted += 1
+        self._instant("cache.evict", key)
+
+    def _instant(self, name: str, key: str) -> None:
+        tracer = obs_runtime.get_tracer()
+        if tracer.enabled:
+            tracer.instant(name, kind=self.kind, key=key[:16])
+
+    # -- maintenance -------------------------------------------------------
+
+    def entry_paths(self) -> Iterator[str]:
+        if not os.path.isdir(self.root):
+            return
+        for sub in sorted(os.listdir(self.root)):
+            subdir = os.path.join(self.root, sub)
+            if not os.path.isdir(subdir):
+                continue
+            for name in sorted(os.listdir(subdir)):
+                if name.endswith(".bin"):
+                    yield os.path.join(subdir, name)
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self.entry_paths())
+
+    def total_bytes(self) -> int:
+        return sum(os.path.getsize(p) for p in self.entry_paths())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.entry_paths()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        self.stats.cleared += removed
+        return removed
+
+    def verify(self) -> dict[str, int]:
+        """Checksum-verify every entry, evicting corrupt ones."""
+        checked = ok = evicted = 0
+        for path in list(self.entry_paths()):
+            checked += 1
+            try:
+                with open(path, "rb") as fh:
+                    blob = fh.read()
+            except OSError:
+                continue
+            payload = self._verified_payload(blob)
+            good = payload is not None
+            if good:
+                try:
+                    pickle.loads(payload)
+                except Exception:
+                    good = False
+            if good:
+                ok += 1
+            else:
+                self._evict(path, os.path.basename(path)[:-4])
+                evicted += 1
+        return {"checked": checked, "ok": ok, "evicted": evicted}
+
+
+class CompileCache(_DiskCache):
+    """kind="compile": source+config -> pickled CompiledProgram."""
+
+    kind = "compile"
+
+    def key_for(self, source: str, config) -> str | None:
+        """Content address for one compilation; None = not cacheable."""
+        fp = config_fingerprint(config)
+        if fp is None or "#include" in source:
+            return None
+        return self._key({"source": source, "config": fp})
+
+
+class ResultCache(_DiskCache):
+    """kind="result": source + config + run parameters -> executed cell.
+
+    Sound because the VM is a deterministic simulator: given the same
+    program, machine model, stdin, and GC settings, cycles/instructions/
+    collections/output are bit-identical on every run.
+    """
+
+    kind = "result"
+
+    def key_for(self, source: str, config, *, stdin: str = "",
+                gc_interval: int = 0, poison: bool = False,
+                postprocessed: bool = False, entry: str = "main",
+                max_instructions: int = 500_000_000) -> str | None:
+        fp = config_fingerprint(config)
+        if fp is None or "#include" in source:
+            return None
+        return self._key({
+            "source": source, "config": fp, "stdin": stdin,
+            "gc_interval": gc_interval, "poison": poison,
+            "postprocessed": postprocessed, "entry": entry,
+            "max_instructions": max_instructions})
+
+
+# -- process-wide active caches -------------------------------------------
+#
+# Mirrors obs.runtime: drivers look the active caches up here so any
+# entry point can switch caching on without threading cache objects
+# through every call.  Engine workers inherit the registry via fork and
+# ship their stats deltas home for merging.
+
+_active: dict[str, _DiskCache] = {}
+
+
+def install_cache(cache: _DiskCache) -> _DiskCache:
+    _active[cache.kind] = cache
+    return cache
+
+
+def uninstall_cache(kind: str | None = None) -> None:
+    if kind is None:
+        _active.clear()
+    else:
+        _active.pop(kind, None)
+
+
+def active_cache(kind: str = "compile") -> _DiskCache | None:
+    return _active.get(kind)
+
+
+def active_caches() -> list[_DiskCache]:
+    return list(_active.values())
+
+
+def active_caches_by_kind() -> dict[str, _DiskCache]:
+    return dict(_active)
+
+
+@contextmanager
+def cache_context(*caches: _DiskCache):
+    """Temporarily install ``caches``; restores the previous registry."""
+    previous = dict(_active)
+    try:
+        for cache in caches:
+            install_cache(cache)
+        yield caches[0] if len(caches) == 1 else caches
+    finally:
+        _active.clear()
+        _active.update(previous)
+
+
+@contextmanager
+def salt_context(tag: str):
+    """Push an extra salt component onto every key computed inside.
+
+    Any hook that changes pipeline *behavior* without changing a key
+    component (monkeypatched passes, experimental rewrites) must wrap
+    itself in one of these, or a warm cache would serve stale code.
+    """
+    _extra_salt.append(tag)
+    try:
+        yield
+    finally:
+        _extra_salt.remove(tag)
+
+
+def open_caches(root: str, salt: str = CODE_VERSION) -> tuple[CompileCache, ResultCache]:
+    """Both tiers rooted under one directory (``compile/``, ``result/``)."""
+    return (CompileCache(os.path.join(root, "compile"), salt),
+            ResultCache(os.path.join(root, "result"), salt))

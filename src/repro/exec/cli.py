@@ -1,0 +1,77 @@
+"""``repro cache`` — inspect and maintain the on-disk caches.
+
+    python -m repro cache stats  [--cache-dir DIR] [--json]
+    python -m repro cache clear  [--cache-dir DIR]
+    python -m repro cache verify [--cache-dir DIR] [--json]
+
+``stats`` reports per-tier entry counts and byte sizes; ``clear``
+deletes every entry; ``verify`` checksum-validates every entry and
+evicts corrupt ones (exit status 1 if any were evicted).  The default
+directory comes from ``--cache-dir`` or ``$REPRO_CACHE_DIR``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .cache import open_caches
+
+DEFAULT_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def resolve_cache_dir(arg: str | None) -> str | None:
+    return arg or os.environ.get(DEFAULT_DIR_ENV) or None
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    root = resolve_cache_dir(args.cache_dir)
+    if root is None:
+        print("error: no cache directory (pass --cache-dir or set "
+              f"${DEFAULT_DIR_ENV})", file=sys.stderr)
+        return 2
+    tiers = open_caches(root)
+    if args.action == "stats":
+        report = {cache.kind: {"entries": cache.entry_count(),
+                               "bytes": cache.total_bytes()}
+                  for cache in tiers}
+        report["root"] = os.path.abspath(root)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(f"cache root: {report['root']}")
+            for cache in tiers:
+                t = report[cache.kind]
+                print(f"  {cache.kind:8s} {t['entries']:6d} entries, "
+                      f"{t['bytes']} bytes")
+        return 0
+    if args.action == "clear":
+        for cache in tiers:
+            removed = cache.clear()
+            print(f"{cache.kind}: removed {removed} entries")
+        return 0
+    if args.action == "verify":
+        evicted_total = 0
+        report = {}
+        for cache in tiers:
+            result = cache.verify()
+            report[cache.kind] = result
+            evicted_total += result["evicted"]
+            if not args.json:
+                print(f"{cache.kind}: {result['ok']}/{result['checked']} ok, "
+                      f"{result['evicted']} corrupt entries evicted")
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        return 1 if evicted_total else 0
+    raise AssertionError(f"unknown cache action {args.action!r}")
+
+
+def add_cache_parser(sub) -> None:
+    p = sub.add_parser("cache", help="inspect/maintain the on-disk caches")
+    p.add_argument("action", choices=("stats", "clear", "verify"))
+    p.add_argument("--cache-dir", default=None,
+                   help=f"cache root (default: ${DEFAULT_DIR_ENV})")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_cache)

@@ -1,0 +1,305 @@
+"""Deterministic sharded worker-pool execution.
+
+The model is deliberately simple so that equivalence with the serial
+path is provable:
+
+* A job is a list of picklable *payloads* plus a module-level function
+  ``fn(payload) -> result`` (it must be importable by name — closures
+  cannot cross a process boundary).
+* :func:`plan_shards` assigns payload *index* ``i`` to shard
+  ``i % workers`` — a pure function of (n, workers), so shard membership
+  never depends on timing and any task is independently replayable from
+  its index alone.
+* Each shard runs in one forked worker process, streaming
+  ``(index, result)`` pairs back over a pipe; the parent merges them
+  into **canonical payload order**, so downstream reports are
+  byte-identical no matter how execution interleaved.
+* ``workers <= 1`` executes inline in the calling process — same
+  containment semantics (per-task exception capture), no subprocess —
+  which is what reducer probes pin themselves to.
+
+Containment:
+
+* ``fn`` raising captures a :class:`TaskFailure` for that index only.
+* A worker *dying* (hard crash, ``os._exit``, kill) poisons only the
+  not-yet-reported tasks of its shard: they surface as a
+  :class:`ShardFailure` in the merge, every other shard's results stand.
+* A ``timeout`` (seconds, wall clock) terminates still-running workers
+  and poisons their unreported tasks the same way.
+
+Telemetry: when the parent's ``repro.obs`` tracer is enabled, each
+worker records into a fresh tracer and ships its events home in its
+final message; the parent absorbs them as shard-tagged events in one
+``repro-obs-trace/1`` stream.  Cache hit/miss counters from the
+worker's process-local :mod:`repro.exec.cache` stats are merged into
+the parent's the same way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..obs import runtime as obs_runtime
+from . import cache as cache_mod
+
+
+class EngineError(RuntimeError):
+    """A merged run had failures and the caller demanded success."""
+
+
+@dataclass
+class Task:
+    index: int  # canonical merge position
+    payload: Any
+
+
+@dataclass
+class ShardPlan:
+    workers: int
+    shards: list[list[Task]]
+
+    @property
+    def total(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+
+@dataclass
+class TaskFailure:
+    """``fn`` raised for one payload; only that index is lost."""
+
+    index: int
+    shard: int
+    error: str
+
+    def describe(self) -> str:
+        return f"task {self.index} (shard {self.shard}): {self.error}"
+
+
+@dataclass
+class ShardFailure:
+    """A worker died or timed out; its unreported indices are lost."""
+
+    shard: int
+    reason: str
+    lost_indices: list[int]
+
+    def describe(self) -> str:
+        return (f"shard {self.shard} {self.reason}: lost tasks "
+                f"{self.lost_indices}")
+
+
+@dataclass
+class WorkerResult:
+    """Everything one worker reported back, pre-merge."""
+
+    shard: int
+    results: dict[int, Any] = field(default_factory=dict)
+    task_failures: list[TaskFailure] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+    cache_stats: dict | None = None
+    completed: bool = False  # sent its "done" message
+
+
+@dataclass
+class MergedRun:
+    """Shard results merged back into canonical payload order."""
+
+    results: list[Any]  # len == len(payloads); None where failed
+    task_failures: list[TaskFailure] = field(default_factory=list)
+    shard_failures: list[ShardFailure] = field(default_factory=list)
+    workers: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return not self.task_failures and not self.shard_failures
+
+    def describe_failures(self) -> str:
+        lines = [f.describe() for f in self.task_failures]
+        lines += [f.describe() for f in self.shard_failures]
+        return "\n".join(lines)
+
+    def raise_on_failure(self) -> "MergedRun":
+        if not self.ok:
+            raise EngineError(
+                f"sharded run failed ({len(self.task_failures)} task / "
+                f"{len(self.shard_failures)} shard failure(s)):\n"
+                + self.describe_failures())
+        return self
+
+
+def plan_shards(payloads: Sequence[Any], workers: int) -> ShardPlan:
+    """Round-robin payload index ``i`` onto shard ``i % workers``."""
+    workers = max(1, int(workers))
+    shards: list[list[Task]] = [[] for _ in range(workers)]
+    for i, payload in enumerate(payloads):
+        shards[i % workers].append(Task(i, payload))
+    return ShardPlan(workers=workers, shards=shards)
+
+
+def _run_inline(plan: ShardPlan,
+                fn: Callable[[Any], Any]) -> MergedRun:
+    merged = MergedRun(results=[None] * plan.total, workers=1)
+    for shard in plan.shards:  # one shard when planned with workers=1
+        for task in shard:
+            try:
+                merged.results[task.index] = fn(task.payload)
+            except Exception as exc:  # containment parity with workers
+                merged.task_failures.append(
+                    TaskFailure(task.index, 0, f"{type(exc).__name__}: {exc}"))
+    return merged
+
+
+def _worker_main(tasks: list[Task], fn: Callable[[Any], Any],
+                 tracing: bool, conn) -> None:
+    """Worker entry point: run the shard, streaming results home.
+
+    Runs in a forked child.  A fresh tracer is installed so the shard
+    records only its own events (the fork inherited the parent's), and
+    cache stats are zeroed so the final report is this shard's delta.
+    ``Connection.send`` is synchronous — a completed task's result is in
+    the pipe before the next task starts, so even a worker that dies
+    mid-shard loses only its *unreported* tasks.
+    """
+    if tracing:
+        obs_runtime.enable_tracing()
+    else:
+        obs_runtime.disable_tracing()
+    for cache in cache_mod.active_caches():
+        cache.stats = cache_mod.CacheStats()
+    for task in tasks:
+        try:
+            result = fn(task.payload)
+        except Exception as exc:
+            conn.send(("error", task.index, f"{type(exc).__name__}: {exc}"))
+        else:
+            conn.send(("result", task.index, result))
+    events = ([e.to_json() for e in obs_runtime.get_tracer().sorted_events()]
+              if tracing else [])
+    stats = {kind: cache.stats.to_dict()
+             for kind, cache in cache_mod.active_caches_by_kind().items()}
+    conn.send(("done", events, stats))
+    conn.close()
+
+
+def run_sharded(payloads: Sequence[Any], fn: Callable[[Any], Any],
+                workers: int = 1, timeout: float | None = None,
+                label: str = "exec") -> MergedRun:
+    """Run ``fn`` over ``payloads`` across ``workers`` processes.
+
+    Results come back merged in payload order (:class:`MergedRun`);
+    failures are contained per task / per shard, never raised here —
+    call :meth:`MergedRun.raise_on_failure` when partial results are
+    unacceptable.
+    """
+    payloads = list(payloads)
+    tracer = obs_runtime.get_tracer()
+    if workers <= 1:
+        with tracer.span(f"{label}.run_sharded", workers=1,
+                         tasks=len(payloads), inline=True):
+            return _run_inline(plan_shards(payloads, 1), fn)
+    plan = plan_shards(payloads, workers)
+    with tracer.span(f"{label}.run_sharded", workers=plan.workers,
+                     tasks=plan.total, inline=False) as sp:
+        merged = _run_pool(plan, fn, timeout)
+        sp.set(task_failures=len(merged.task_failures),
+               shard_failures=len(merged.shard_failures))
+    return merged
+
+
+def _run_pool(plan: ShardPlan, fn: Callable[[Any], Any],
+              timeout: float | None) -> MergedRun:
+    ctx = multiprocessing.get_context("fork")
+    tracer = obs_runtime.get_tracer()
+    tracing = tracer.enabled
+    states = [WorkerResult(shard=s) for s in range(plan.workers)]
+    procs = []
+    pending: dict[Any, WorkerResult] = {}  # parent conn -> shard state
+    for s in range(plan.workers):
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        p = ctx.Process(target=_worker_main,
+                        args=(plan.shards[s], fn, tracing, child_conn),
+                        daemon=True)
+        p.start()
+        child_conn.close()  # parent's copy — else EOF never arrives
+        procs.append(p)
+        pending[parent_conn] = states[s]
+    deadline = None if timeout is None else time.monotonic() + timeout
+    timed_out = False
+    try:
+        while pending:
+            remaining = 0.1
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    timed_out = True
+                    break
+            ready = multiprocessing.connection.wait(
+                list(pending), timeout=min(0.1, remaining))
+            for conn in ready:
+                st = pending[conn]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    # Worker died; everything it reported is already in.
+                    del pending[conn]
+                    conn.close()
+                    continue
+                if _handle_message(msg, st):
+                    del pending[conn]
+                    conn.close()
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=5.0)
+        for conn in pending:
+            conn.close()
+
+    merged = MergedRun(results=[None] * plan.total, workers=plan.workers)
+    for st in states:
+        merged.task_failures.extend(st.task_failures)
+        for idx, value in st.results.items():
+            merged.results[idx] = value
+        if not st.completed:
+            reported = set(st.results) | {f.index for f in st.task_failures}
+            lost = [t.index for t in plan.shards[st.shard]
+                    if t.index not in reported]
+            reason = "timed out" if timed_out else "worker died"
+            merged.shard_failures.append(
+                ShardFailure(st.shard, reason, lost))
+    merged.task_failures.sort(key=lambda f: f.index)
+    merged.shard_failures.sort(key=lambda f: f.shard)
+    # Absorb shard telemetry + cache counters in shard order, so the
+    # merged stream is deterministic given deterministic shard streams.
+    for st in states:
+        if st.events and tracing:
+            tracer.absorb(st.events, shard=st.shard)
+        if st.cache_stats:
+            for kind, stats in st.cache_stats.items():
+                cache = cache_mod.active_cache(kind)
+                if cache is not None:
+                    cache.stats.merge(stats)
+    return merged
+
+
+def _handle_message(msg: tuple, st: WorkerResult) -> bool:
+    """Fold one worker message into its shard state.
+
+    Returns True when this was the shard's final ("done") message.
+    """
+    kind = msg[0]
+    if kind == "result":
+        st.results[msg[1]] = msg[2]
+    elif kind == "error":
+        st.task_failures.append(TaskFailure(msg[1], st.shard, msg[2]))
+    elif kind == "done":
+        st.events = msg[1]
+        st.cache_stats = msg[2]
+        st.completed = True
+        return True
+    return False

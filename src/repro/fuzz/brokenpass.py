@@ -85,10 +85,20 @@ def _broken_run(fn: IRFunc) -> bool:
 @contextmanager
 def rebroken_addrfold():
     """Swap the registered addrfold pass for the pre-fix buggy variant
-    for the duration of the ``with`` block."""
+    for the duration of the ``with`` block.
+
+    The pass swap changes pipeline *output* without changing any
+    compile-cache key component, so the block also pushes an extra salt
+    (:func:`repro.exec.cache.salt_context`) — otherwise a warm cache
+    would serve correctly-compiled stale code and mask the bug the
+    oracle is being validated against.
+    """
+    from ..exec.cache import salt_context
+
     original = opt_pipeline._PASS_FNS["addrfold"]
     opt_pipeline._PASS_FNS["addrfold"] = _broken_run
     try:
-        yield
+        with salt_context("rebroken-addrfold"):
+            yield
     finally:
         opt_pipeline._PASS_FNS["addrfold"] = original

@@ -3,6 +3,17 @@
 A campaign is deterministic given ``--seed``: iteration ``k`` fuzzes the
 program ``generate_program(seed + k)``, so any finding can be reproduced
 in isolation from its iteration number alone.
+
+``workers > 1`` shards iterations **per seed** across processes through
+:mod:`repro.exec.engine` (iteration ``k`` → shard ``k % workers``): each
+iteration is self-contained — generate, full oracle matrix, and (when
+requested) reduction all happen in the worker that owns the seed, with
+reducer probes pinned to ``workers=1`` inside it.  The merge walks
+records back in iteration order and applies ``stop_after`` exactly as
+the serial loop would, so findings, counts, and aggregate GC totals are
+identical for any worker count (the sharded run may *execute* more
+iterations than it reports — that is the price of parallelism, not a
+semantic difference).
 """
 
 from __future__ import annotations
@@ -12,6 +23,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..exec.engine import run_sharded
+from ..gc.collector import GCStats
 from ..obs import runtime as obs_runtime
 from .gen import GenOptions, generate_program
 from .oracle import OracleReport, check_program, mismatch_predicate
@@ -43,13 +56,32 @@ class CampaignResult:
     iterations: int = 0
     cells: int = 0
     findings: list[Finding] = field(default_factory=list)
+    # Merged collector counters across every oracle cell of every
+    # reported iteration — identical for serial and sharded runs.
+    gc_totals: GCStats = field(default_factory=GCStats)
     # Wall-clock attribution of campaign stages (always collected — two
     # clock reads per iteration, negligible next to an oracle run).
     telemetry: dict = field(default_factory=dict)
+    workers: int = 1
 
     @property
     def ok(self) -> bool:
         return not self.findings
+
+    def report(self) -> str:
+        """The deterministic campaign record: counts, aggregate GC
+        check totals, and findings — no wall-clock numbers, so serial
+        and sharded runs of the same campaign render byte-identically.
+        """
+        lines = [f"campaign seed={self.seed} iterations={self.iterations} "
+                 f"cells={self.cells} findings={len(self.findings)}",
+                 f"gc checks: same_obj={self.gc_totals.same_obj_checks} "
+                 f"incr={self.gc_totals.incr_checks} "
+                 f"base={self.gc_totals.base_checks} "
+                 f"collections={self.gc_totals.collections}"]
+        for finding in self.findings:
+            lines.append(finding.describe())
+        return "\n".join(lines) + "\n"
 
 
 def _persist(out_dir: str, finding: Finding) -> None:
@@ -64,6 +96,52 @@ def _persist(out_dir: str, finding: Finding) -> None:
         fh.write(finding.describe() + "\n")
 
 
+def _iteration_worker(payload: tuple) -> dict:
+    """One self-contained campaign iteration (engine task).
+
+    Returns a picklable record; the parent merges records in iteration
+    order.  Reduction happens here — in the process that owns the seed —
+    with its oracle probes routed through the engine pinned to
+    ``workers=1`` (see :func:`repro.fuzz.oracle.mismatch_predicate`).
+    """
+    (program_seed, k, models, adv_interval, do_reduce,
+     max_instructions, gen_options) = payload
+    tracer = obs_runtime.get_tracer()
+    clock = time.perf_counter_ns
+    record: dict = {"k": k, "seed": program_seed, "reduce_ns": 0}
+    with tracer.span("fuzz.iteration", seed=program_seed, index=k) as isp:
+        t0 = clock()
+        source = generate_program(program_seed, gen_options)
+        t1 = clock()
+        report = check_program(source, models=models,
+                               adv_interval=adv_interval,
+                               max_instructions=max_instructions)
+        t2 = clock()
+        record.update(cells=report.runs, ok=report.ok,
+                      gen_ns=t1 - t0, oracle_ns=t2 - t1,
+                      gc_totals=report.gc_totals.to_dict(), finding=None)
+        isp.set(ok=report.ok, cells=report.runs,
+                gen_ns=t1 - t0, oracle_ns=t2 - t1)
+        if not report.ok:
+            finding = Finding(seed=program_seed, iteration=k,
+                              source=source, report=report)
+            if do_reduce:
+                signature = report.mismatches[0].signature()
+                pred = mismatch_predicate(
+                    signature, max_instructions=max_instructions,
+                    adv_interval=adv_interval)
+                stats = ReduceStats()
+                r0 = clock()
+                with tracer.span("fuzz.reduce", seed=program_seed) as rsp:
+                    finding.reduced = reduce_source(source, pred, stats=stats)
+                    rsp.set(lines_before=stats.lines_before,
+                            lines_after=stats.lines_after, tests=stats.tests)
+                record["reduce_ns"] = clock() - r0
+                finding.reduce_stats = stats
+            record["finding"] = finding
+    return record
+
+
 def run_campaign(seed: int, iters: int,
                  models: tuple[str, ...] = ("ss10", "ss2", "p90"),
                  adv_interval: int = 1,
@@ -73,67 +151,62 @@ def run_campaign(seed: int, iters: int,
                  gen_options: GenOptions | None = None,
                  max_instructions: int = 5_000_000,
                  log: Callable[[str], None] | None = None,
-                 progress_every: int = 50) -> CampaignResult:
+                 progress_every: int = 50,
+                 workers: int = 1) -> CampaignResult:
     """Fuzz ``iters`` programs; return every differential finding.
 
     ``stop_after=N`` stops the campaign after N findings (None: never) —
     the default stops at the first, since under a healthy toolchain a
     finding means a compiler/GC bug that deserves attention before more
-    churn.
+    churn.  ``workers=N`` shards iterations across N processes; results
+    are merged per seed in iteration order, so the outcome (including
+    the ``stop_after`` cut) is identical to the serial run.
     """
     log = log or (lambda msg: None)
-    result = CampaignResult(seed=seed)
-    tracer = obs_runtime.get_tracer()
-    clock = time.perf_counter_ns
+    result = CampaignResult(seed=seed, workers=max(1, workers))
     gen_ns = oracle_ns = reduce_ns = 0
-    for k in range(iters):
-        program_seed = seed + k
-        with tracer.span("fuzz.iteration", seed=program_seed, index=k) as isp:
-            t0 = clock()
-            source = generate_program(program_seed, gen_options)
-            t1 = clock()
-            report = check_program(source, models=models,
-                                   adv_interval=adv_interval,
-                                   max_instructions=max_instructions)
-            t2 = clock()
-            gen_ns += t1 - t0
-            oracle_ns += t2 - t1
-            result.iterations += 1
-            result.cells += report.runs
-            isp.set(ok=report.ok, cells=report.runs,
-                    gen_ns=t1 - t0, oracle_ns=t2 - t1)
-            finding = None
-            if not report.ok:
-                finding = Finding(seed=program_seed, iteration=k,
-                                  source=source, report=report)
-                if reduce:
-                    signature = report.mismatches[0].signature()
-                    pred = mismatch_predicate(
-                        signature, max_instructions=max_instructions,
-                        adv_interval=adv_interval)
-                    stats = ReduceStats()
-                    r0 = clock()
-                    with tracer.span("fuzz.reduce", seed=program_seed) as rsp:
-                        finding.reduced = reduce_source(source, pred,
-                                                        stats=stats)
-                        rsp.set(lines_before=stats.lines_before,
-                                lines_after=stats.lines_after,
-                                tests=stats.tests)
-                    reduce_ns += clock() - r0
-                    finding.reduce_stats = stats
-                result.findings.append(finding)
-                if out_dir:
-                    _persist(out_dir, finding)
-                log(f"[{k + 1}/{iters}] MISMATCH "
-                    f"(program seed {program_seed}):")
-                for line in finding.describe().splitlines():
-                    log("    " + line)
+
+    payloads = [(seed + k, k, tuple(models), adv_interval, reduce,
+                 max_instructions, gen_options) for k in range(iters)]
+
+    def consume(record: dict) -> bool:
+        """Fold one in-order record into the result; True = stop."""
+        nonlocal gen_ns, oracle_ns, reduce_ns
+        k = record["k"]
+        result.iterations += 1
+        result.cells += record["cells"]
+        result.gc_totals.merge(record["gc_totals"])
+        gen_ns += record["gen_ns"]
+        oracle_ns += record["oracle_ns"]
+        reduce_ns += record["reduce_ns"]
+        finding = record["finding"]
         if finding is not None:
+            result.findings.append(finding)
+            if out_dir:
+                _persist(out_dir, finding)
+            log(f"[{k + 1}/{iters}] MISMATCH "
+                f"(program seed {record['seed']}):")
+            for line in finding.describe().splitlines():
+                log("    " + line)
             if stop_after is not None and len(result.findings) >= stop_after:
-                break
+                return True
         elif progress_every and (k + 1) % progress_every == 0:
             log(f"[{k + 1}/{iters}] ok — {result.cells} cells checked, "
                 f"0 mismatches")
+        return False
+
+    if result.workers <= 1:
+        for payload in payloads:
+            if consume(_iteration_worker(payload)):
+                break
+    else:
+        merged = run_sharded(payloads, _iteration_worker,
+                             workers=result.workers,
+                             label="fuzz").raise_on_failure()
+        for record in merged.results:
+            if consume(record):
+                break
+
     result.telemetry = {
         "gen_s": round(gen_ns / 1e9, 6),
         "oracle_s": round(oracle_ns / 1e9, 6),
@@ -141,7 +214,9 @@ def run_campaign(seed: int, iters: int,
         "iterations": result.iterations,
         "cells": result.cells,
         "findings": len(result.findings),
+        "workers": result.workers,
     }
+    tracer = obs_runtime.get_tracer()
     if tracer.enabled:
         tracer.instant("fuzz.campaign", **result.telemetry, seed=seed)
     return result

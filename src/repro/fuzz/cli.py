@@ -19,8 +19,11 @@ event; the profile aggregates VM hot spots across all oracle cells.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from ..exec import cache as exec_cache
+from ..exec.cli import resolve_cache_dir
 from ..machine.models import MODELS
 from ..obs import runtime as obs_runtime
 from .campaign import run_campaign
@@ -61,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-statements", type=int, default=None,
                    help="cap generated statements per program")
     p.add_argument("--max-instructions", type=int, default=5_000_000)
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard iterations (or replay cells) across N "
+                        "processes; findings are identical to a serial run")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed compile cache root "
+                        "(default: $REPRO_CACHE_DIR)")
     p.add_argument("--replay", metavar="FILE", default=None,
                    help="oracle-check one existing .c file and exit")
     p.add_argument("--rebreak-addrfold", action="store_true",
@@ -84,7 +93,8 @@ def main(argv: list[str] | None = None) -> int:
                 source = fh.read()
             report = check_program(source, models=args.models,
                                    adv_interval=args.adv_interval,
-                                   max_instructions=args.max_instructions)
+                                   max_instructions=args.max_instructions,
+                                   workers=args.workers)
             print(report.describe())
             if not report.ok and args.reduce:
                 stats = ReduceStats()
@@ -108,7 +118,8 @@ def main(argv: list[str] | None = None) -> int:
             adv_interval=args.adv_interval, reduce=args.reduce,
             out_dir=args.out, gen_options=gen_options,
             stop_after=None if args.keep_going else 1,
-            max_instructions=args.max_instructions, log=log)
+            max_instructions=args.max_instructions, log=log,
+            workers=args.workers)
         verdict = ("zero differential mismatches"
                    if result.ok else f"{len(result.findings)} finding(s)")
         log(f"checked {result.iterations} programs "
@@ -119,6 +130,13 @@ def main(argv: list[str] | None = None) -> int:
                 f"oracle {t['oracle_s']:.2f}s, reduce {t['reduce_s']:.2f}s")
         return 0 if result.ok else 1
 
+    cache_dir = resolve_cache_dir(args.cache_dir)
+    caches = ()
+    if cache_dir:
+        caches = (exec_cache.CompileCache(
+            os.path.join(cache_dir, "compile")),)
+        for cache in caches:
+            exec_cache.install_cache(cache)
     if args.trace:
         obs_runtime.enable_tracing()
     if args.profile:
@@ -140,6 +158,12 @@ def main(argv: list[str] | None = None) -> int:
             print(profile.render_report(), file=sys.stderr)
         if args.trace or args.profile:
             obs_runtime.reset()
+        for cache in caches:
+            s = cache.stats
+            print(f"! cache[{cache.kind}]: {s.hits} hits, {s.misses} misses, "
+                  f"{s.stores} stores", file=sys.stderr)
+        if caches:
+            exec_cache.uninstall_cache()
 
 
 if __name__ == "__main__":

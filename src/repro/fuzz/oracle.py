@@ -26,7 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..cfront.errors import CFrontError
-from ..gc.collector import Collector, GCCheckError
+from ..exec.engine import run_sharded
+from ..gc.collector import Collector, GCCheckError, GCStats
 from ..gc.memory import MemoryFault
 from ..machine.driver import CompileConfig, CONFIGS, compile_source
 from ..machine.models import MODELS
@@ -52,6 +53,11 @@ class Outcome:
     output: str = ""
     detail: str = ""
     collections: int = 0
+    # The run's collector counters (``GCStats.to_dict()``) — aggregate
+    # accounting only, never part of the agreement key (the wall-clock
+    # ns fields vary run to run while tracing; the simulated check/
+    # collection counts are deterministic).
+    gc_stats: dict = field(default_factory=dict)
 
     def key(self) -> tuple:
         """What two cells must agree on (never timing counters)."""
@@ -84,6 +90,9 @@ class OracleReport:
     mismatches: list[Mismatch] = field(default_factory=list)
     runs: int = 0
     reference: Outcome | None = None
+    # Merged collector counters over every cell run (GCStats.merge),
+    # so serial and sharded campaigns can pin identical aggregates.
+    gc_totals: GCStats = field(default_factory=GCStats)
 
     @property
     def ok(self) -> bool:
@@ -113,22 +122,67 @@ def compile_and_run(source: str, config_name: str, model_name: str = "ss10",
     try:
         result = vm.run()
     except GCCheckError as exc:
-        return Outcome("check", detail=str(exc))
+        return Outcome("check", detail=str(exc), gc_stats=gc.stats.to_dict())
     except (VMError, MemoryFault) as exc:
-        return Outcome("fault", detail=str(exc))
+        return Outcome("fault", detail=str(exc), gc_stats=gc.stats.to_dict())
     return Outcome("ok", result.exit_code, result.output,
-                   collections=result.collections)
+                   collections=result.collections,
+                   gc_stats=gc.stats.to_dict())
+
+
+def _cell_worker(payload: tuple) -> Outcome:
+    """Engine task: one oracle cell.  Payload is (source, config, model,
+    gc_interval, poison, max_instructions) — all picklable scalars."""
+    source, config, model, gc_interval, poison, max_instructions = payload
+    return compile_and_run(source, config, model, gc_interval=gc_interval,
+                           poison=poison, max_instructions=max_instructions)
+
+
+def run_cells(cells: list[tuple], workers: int = 1) -> list[Outcome]:
+    """Run oracle cells through the execution engine, results in cell
+    order.  ``workers <= 1`` executes inline (deterministic serial
+    path); engine-level failures (a worker dying) are not folded into
+    Outcomes — they raise, since a partial oracle matrix proves nothing.
+    """
+    merged = run_sharded(cells, _cell_worker, workers=workers,
+                         label="oracle").raise_on_failure()
+    return merged.results
+
+
+def matrix_cells(source: str, models: tuple[str, ...] = DEFAULT_MODELS,
+                 adv_interval: int = 1,
+                 adv_models: tuple[str, ...] | None = None,
+                 max_instructions: int = 5_000_000) -> list[tuple]:
+    """The canonical cell list for one program's differential matrix
+    (reference excluded), each tagged with its mismatch kind."""
+    primary = models[0]
+    cells: list[tuple] = []
+    for model in models:
+        for config in ALL_CONFIGS:
+            if config == REFERENCE_CONFIG and model == primary:
+                continue  # that cell *is* the reference
+            cells.append(("plain", (source, config, model, 0, True,
+                                    max_instructions)))
+    for model in (adv_models or (primary,)):
+        for config in ADVERSARIAL_CONFIGS:
+            cells.append(("adversarial", (source, config, model,
+                                          adv_interval, True,
+                                          max_instructions)))
+    return cells
 
 
 def check_program(source: str, models: tuple[str, ...] = DEFAULT_MODELS,
                   adv_interval: int = 1,
                   adv_models: tuple[str, ...] | None = None,
-                  max_instructions: int = 5_000_000) -> OracleReport:
+                  max_instructions: int = 5_000_000,
+                  workers: int = 1) -> OracleReport:
     """Run the full differential matrix over one program.
 
     ``models`` drives the plain (no forced collections) agreement check
     for all five configs; ``adv_models`` (default: the first model)
-    drives the adversarial re-run of the GC-safe configs.
+    drives the adversarial re-run of the GC-safe configs.  ``workers``
+    shards the (config, model, gc-mode) cells across processes via the
+    execution engine; the report is identical for any worker count.
     """
     report = OracleReport()
     primary = models[0]
@@ -136,31 +190,22 @@ def check_program(source: str, models: tuple[str, ...] = DEFAULT_MODELS,
                           max_instructions=max_instructions)
     report.reference = ref
     report.runs += 1
+    report.gc_totals.merge(ref.gc_stats)
     if ref.status != "ok":
         report.mismatches.append(Mismatch(
             "reference", REFERENCE_CONFIG, primary,
             "a runnable program", ref.describe()))
         return report
-    for model in models:
-        for config in ALL_CONFIGS:
-            if config == REFERENCE_CONFIG and model == primary:
-                continue  # that cell *is* the reference
-            out = compile_and_run(source, config, model,
-                                  max_instructions=max_instructions)
-            report.runs += 1
-            if out.key() != ref.key():
-                report.mismatches.append(Mismatch(
-                    "plain", config, model, ref.describe(), out.describe()))
-    for model in (adv_models or (primary,)):
-        for config in ADVERSARIAL_CONFIGS:
-            out = compile_and_run(source, config, model,
-                                  gc_interval=adv_interval, poison=True,
-                                  max_instructions=max_instructions)
-            report.runs += 1
-            if out.key() != ref.key():
-                report.mismatches.append(Mismatch(
-                    "adversarial", config, model, ref.describe(),
-                    out.describe()))
+    cells = matrix_cells(source, models, adv_interval, adv_models,
+                         max_instructions)
+    outcomes = run_cells([payload for _, payload in cells], workers=workers)
+    for (kind, payload), out in zip(cells, outcomes):
+        _, config, model = payload[:3]
+        report.runs += 1
+        report.gc_totals.merge(out.gc_stats)
+        if out.key() != ref.key():
+            report.mismatches.append(Mismatch(
+                kind, config, model, ref.describe(), out.describe()))
     return report
 
 
@@ -174,24 +219,30 @@ def mismatch_predicate(signature: tuple[str, str, str] | None = None,
     compiles instead of the full matrix — and demands the *same* cell
     still disagrees, so reduction cannot wander onto a different bug.
     Sources that no longer compile simply fail the predicate.
+
+    Probes run through the execution engine with ``workers=1`` pinned:
+    reduction is a sequential search whose every step depends on the
+    previous answer, so probes must never inherit campaign-level
+    parallelism — but they still flow through the same engine (and
+    therefore the same compile cache) as every other oracle cell.
     """
     if signature is None:
         def pred_full(source: str) -> bool:
             return not check_program(
                 source, max_instructions=max_instructions,
-                adv_interval=adv_interval).ok
+                adv_interval=adv_interval, workers=1).ok
         return pred_full
 
     kind, config, model = signature
 
     def pred(source: str) -> bool:
-        ref = compile_and_run(source, REFERENCE_CONFIG, model,
-                              max_instructions=max_instructions)
+        ref, = run_cells([(source, REFERENCE_CONFIG, model, 0, True,
+                           max_instructions)], workers=1)
         if ref.status != "ok":
             return kind == "reference"
         gc_interval = adv_interval if kind == "adversarial" else 0
-        out = compile_and_run(source, config, model, gc_interval=gc_interval,
-                              poison=True, max_instructions=max_instructions)
+        out, = run_cells([(source, config, model, gc_interval, True,
+                           max_instructions)], workers=1)
         return out.key() != ref.key()
 
     return pred

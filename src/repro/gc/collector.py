@@ -64,6 +64,46 @@ class GCStats:
         for name in self.__dataclass_fields__:
             setattr(self, name, getattr(fresh, name))
 
+    # ``reset()`` and the per-kind check counters are process-local —
+    # a sharded campaign runs its collectors in worker processes, so
+    # aggregate accounting needs an explicit, serializable merge.
+
+    def to_dict(self) -> dict:
+        """JSON/pickle-safe snapshot of every counter."""
+        d = {name: getattr(self, name)
+             for name in self.__dataclass_fields__
+             if name != "alloc_histogram"}
+        d["alloc_histogram"] = dict(self.alloc_histogram)
+        return d
+
+    @staticmethod
+    def from_dict(d: dict) -> "GCStats":
+        stats = GCStats()
+        stats.merge(d)
+        return stats
+
+    def merge(self, other: "GCStats | dict") -> "GCStats":
+        """Fold another window's counters into this one (in place).
+
+        Every counter is additive except ``max_pause_ns`` (maximum).
+        The live-set snapshot fields sum too: merging windows from
+        distinct collectors yields the total final live set across
+        them, and check-count aggregates — the quantity sharded-vs-
+        serial equivalence is pinned on — stay exact.
+        """
+        d = other.to_dict() if isinstance(other, GCStats) else other
+        for name, value in d.items():
+            if name == "alloc_histogram":
+                for bucket, count in value.items():
+                    bucket = int(bucket)
+                    self.alloc_histogram[bucket] = (
+                        self.alloc_histogram.get(bucket, 0) + count)
+            elif name == "max_pause_ns":
+                self.max_pause_ns = max(self.max_pause_ns, value)
+            else:
+                setattr(self, name, getattr(self, name) + value)
+        return self
+
 
 @dataclass
 class RootRange:

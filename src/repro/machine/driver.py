@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, replace
 from ..cfront.cpp import preprocess
 from ..cfront.parser import parse
 from ..cfront.typecheck import typecheck
+from ..exec import cache as exec_cache
 from ..obs import runtime as obs_runtime
 from ..core.annotate import AnnotateOptions, Annotator
 from ..gc.collector import Collector
@@ -95,19 +96,42 @@ class CompiledProgram:
 
 
 def compile_source(source: str, config: CompileConfig | None = None) -> CompiledProgram:
-    """Compile C source through the full pipeline for one configuration."""
+    """Compile C source through the full pipeline for one configuration.
+
+    When a :mod:`repro.exec.cache` compile cache is installed, the
+    linked :class:`CompiledProgram` is memoized under the SHA-256 of
+    (source, config fingerprint, code-version salt); a verified hit
+    skips the whole pipeline and unpickles a fresh, unaliased program.
+    """
     config = config or CompileConfig()
+    cache = exec_cache.active_cache("compile")
+    key = cache.key_for(source, config) if cache is not None else None
+    if key is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
     tracer = obs_runtime.get_tracer()
     if not tracer.enabled:
-        return _compile(source, config)
-    with tracer.span("compile", optimize=config.optimize, safe=config.safe,
-                     checked=config.checked, model=config.model.name,
-                     passes=list(config.passes)) as sp:
         compiled = _compile(source, config)
-        sp.set(code_size=compiled.asm.code_size(),
-               functions=len(compiled.asm.functions),
-               keep_lives=compiled.keep_lives)
+    else:
+        with tracer.span("compile", optimize=config.optimize,
+                         safe=config.safe, checked=config.checked,
+                         model=config.model.name,
+                         passes=list(config.passes)) as sp:
+            compiled = _compile(source, config)
+            sp.set(code_size=compiled.asm.code_size(),
+                   functions=len(compiled.asm.functions),
+                   keep_lives=compiled.keep_lives)
+    if key is not None:
+        cache.put(key, compiled)
     return compiled
+
+
+def compile_cache_key(source: str, config: CompileConfig) -> str | None:
+    """The active compile cache's address for this compilation (None
+    when no cache is installed or the inputs are not cacheable)."""
+    cache = exec_cache.active_cache("compile")
+    return cache.key_for(source, config) if cache is not None else None
 
 
 def _compile(source: str, config: CompileConfig) -> CompiledProgram:

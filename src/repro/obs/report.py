@@ -53,6 +53,8 @@ def summarize(events: Iterable[TraceEvent | dict[str, Any]],
     vm = {"runs": 0, "wall_ns": 0, "cycles": 0, "instructions": 0,
           "collections": 0, "checks": 0}
     gc_stats: dict[str, Any] = {}
+    # Per-tier compile/result cache counters (cache.* instants).
+    cache: dict[str, dict[str, int]] = {}
 
     for e in evs:
         kind, name = e.get("kind"), e.get("name", "")
@@ -106,6 +108,14 @@ def summarize(events: Iterable[TraceEvent | dict[str, Any]],
                     vm[key] += args.get(key, 0)
         elif kind == "instant" and name == "gc.stats":
             gc_stats = dict(args)
+        elif kind == "instant" and name in ("cache.hit", "cache.miss",
+                                            "cache.evict"):
+            tier = cache.setdefault(
+                args.get("kind", "compile"),
+                {"hits": 0, "misses": 0, "evictions": 0})
+            field = {"cache.hit": "hits", "cache.miss": "misses",
+                     "cache.evict": "evictions"}[name]
+            tier[field] += 1
 
     avg = gc["pause_ns_total"] // gc["collections"] if gc["collections"] else 0
     gc["pause_ns_avg"] = avg
@@ -117,6 +127,8 @@ def summarize(events: Iterable[TraceEvent | dict[str, Any]],
         "gc": {**gc, "timeline": gc_timeline, "stats": gc_stats},
         "vm": vm,
     }
+    if cache:
+        summary["cache"] = cache
     if profile is not None:
         summary["profile"] = profile.to_dict(top=top)
     return summary

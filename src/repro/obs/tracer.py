@@ -165,6 +165,36 @@ class Tracer:
             return
         self.events.append(TraceEvent("instant", name, self.now(), args=args))
 
+    def absorb(self, events: Iterable[dict[str, Any]],
+               shard: int | None = None) -> None:
+        """Merge a foreign event stream (e.g. an engine worker's) into
+        this tracer as shard-tagged events.
+
+        Span ids are re-based past this tracer's counter so the merged
+        stream keeps unique ids and intact parent links; ``t0`` values
+        stay relative to the *worker's* epoch (shard timelines overlap
+        by construction — the ``shard`` arg disambiguates).
+        """
+        if not self.enabled:
+            return
+        offset = self._next_id
+        max_id = 0
+        for d in events:
+            eid = int(d.get("id", 0))
+            max_id = max(max_id, eid)
+            args = dict(d.get("args", {}))
+            if shard is not None:
+                args["shard"] = shard
+            parent = int(d.get("parent", 0))
+            self.events.append(TraceEvent(
+                d.get("kind", "instant"), d.get("name", ""),
+                int(d.get("t0", 0)), dur=int(d.get("dur", 0)),
+                id=eid + offset if eid else 0,
+                parent=parent + offset if parent else 0,
+                depth=int(d.get("depth", 0)),
+                value=d.get("value"), args=args))
+        self._next_id += max_id
+
     # -- export ------------------------------------------------------------
 
     def sorted_events(self) -> list[TraceEvent]:

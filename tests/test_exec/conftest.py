@@ -1,0 +1,81 @@
+"""Shared fixtures for the execution-engine / cache suite.
+
+``REPRO_EXEC_WORKERS`` (CI matrix knob) overrides the worker count the
+equivalence tests exercise; the default of 4 matches the acceptance
+criterion's serial-vs-4-worker comparison.
+"""
+
+import os
+
+import pytest
+
+import repro.bench.harness as harness_mod
+from repro.exec import cache as exec_cache
+from repro.workloads import WorkloadSpec
+
+WORKERS = max(2, int(os.environ.get("REPRO_EXEC_WORKERS", "4")))
+
+TINY = """
+int main(void) {
+    char *s = (char *)GC_malloc(16);
+    int i, t = 0;
+    for (i = 0; i < 10; i++) s[i] = i * 2;
+    for (i = 0; i < 10; i++) t += s[i];
+    return t;
+}
+"""
+
+# A known miscompile reproducer under the re-broken addrfold pass (the
+# x + (x - c) in-place aliasing shape; same source the reducer suite
+# pins).
+MISCOMPILE = """
+int pad1(int *p) { return p[0]; }
+int main(void) {
+    int stk[3][3];
+    int *a; int *b;
+    int i, j, x, y, acc;
+    a = (int *)GC_malloc(16 * sizeof(int));
+    for (i = 0; i < 16; i++) a[i] = (i * 7 + 3) & 0xFF;
+    for (i = 0; i < 3; i++) for (j = 0; j < 3; j++) stk[i][j] = i + j;
+    acc = 0;
+    acc = (acc + a[5]) & 0xFFFF;
+    b = (int *)GC_malloc(8 * sizeof(int));
+    for (j = 0; j < 8; j++) b[j] = j * 3;
+    acc = (acc + stk[2][1] + b[4]) & 0xFFFF;
+    x = a[7];
+    y = x + (x - 1000);
+    acc = (acc + y) & 0xFFFF;
+    acc = (acc + pad1(a)) & 0xFFFF;
+    printf("%d\\n", acc);
+    return acc & 0xFF;
+}
+"""
+
+
+@pytest.fixture
+def tiny_workloads(monkeypatch):
+    """Replace the real workload set with one tiny synthetic program so
+    harness-level tests stay fast.  Engine workers fork from this
+    process, so they inherit the patched module state."""
+    monkeypatch.setattr(harness_mod, "WORKLOADS",
+                        {"tiny": WorkloadSpec("tiny", "tiny.c", "synthetic")})
+    monkeypatch.setattr(harness_mod, "load_workload", lambda name: TINY)
+
+
+@pytest.fixture
+def cache_root(tmp_path):
+    return str(tmp_path / "cache")
+
+
+@pytest.fixture
+def installed_caches(cache_root):
+    """Both cache tiers installed process-wide for the test's duration."""
+    compile_cache, result_cache = exec_cache.open_caches(cache_root)
+    with exec_cache.cache_context(compile_cache, result_cache):
+        yield compile_cache, result_cache
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_caches():
+    yield
+    assert not exec_cache.active_caches(), "test leaked installed caches"

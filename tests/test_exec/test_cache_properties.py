@@ -1,0 +1,50 @@
+"""Property test (satellite): for a corpus of generated fuzz programs,
+a cache roundtrip is observationally identical to a direct compile.
+
+"Identical" is checked at two levels for every program:
+
+* static — the rendered instruction stream (the program's fingerprint)
+  of the unpickled hit equals the direct compile's, byte for byte;
+* dynamic — executing both on the VM yields the same cycles,
+  instructions, collections, exit code, and output.
+"""
+
+import pytest
+
+from repro.exec.cache import CompileCache, cache_context
+from repro.fuzz.gen import GenOptions, generate_program
+from repro.machine.driver import CompileConfig, compile_source
+from repro.machine.vm import VM
+
+N_PROGRAMS = 50
+# Rotate configs across seeds so the corpus covers the whole build
+# matrix without compiling every (program, config) pair.
+CONFIG_CYCLE = ("O", "O0", "O_safe", "g", "g_checked")
+
+# Keep the corpus cheap: the property is about cache fidelity, not
+# generator coverage, so small programs carry the same evidence.
+GEN = GenOptions()
+GEN.min_statements = 4
+GEN.max_statements = 8
+
+
+def _run(compiled, model):
+    vm = VM(compiled.asm, model, max_instructions=5_000_000)
+    r = vm.run()
+    return (r.cycles, r.instructions, r.collections, r.exit_code, r.output)
+
+
+@pytest.mark.parametrize("seed", range(N_PROGRAMS))
+def test_cache_roundtrip_preserves_fingerprint_and_counts(seed, cache_root):
+    source = generate_program(seed, GEN)
+    config = CompileConfig.named(CONFIG_CYCLE[seed % len(CONFIG_CYCLE)])
+    direct = compile_source(source, config)
+    cache = CompileCache(cache_root)
+    with cache_context(cache):
+        stored = compile_source(source, config)     # miss + store
+        roundtripped = compile_source(source, config)  # hit
+    assert cache.stats.to_dict()["hits"] == 1, "corpus program not cacheable"
+    assert roundtripped is not stored
+    assert stored.asm.render() == direct.asm.render()
+    assert roundtripped.asm.render() == direct.asm.render()
+    assert _run(roundtripped, config.model) == _run(direct, config.model)

@@ -1,0 +1,114 @@
+"""Serial-vs-sharded equivalence: the engine's core promise is that
+``--workers N`` changes wall-clock time and nothing else.
+
+Fast tests pin byte-identical reports on a tiny synthetic workload and
+short campaigns for serial vs 1-worker vs N-worker runs; the
+``slow``-marked tests are the acceptance-criterion runs (full benchmark
+matrix, 200-iteration seed-0 campaign)."""
+
+import pytest
+
+from repro.bench.harness import Harness
+from repro.bench.report import generate
+from repro.fuzz.brokenpass import rebroken_addrfold
+from repro.fuzz.campaign import run_campaign
+from repro.fuzz.gen import generate_program
+from repro.fuzz.oracle import check_program
+from repro.obs import runtime as obs_runtime
+
+from .conftest import WORKERS
+
+
+def _cell_obs(cell):
+    """The deterministic observables of one benchmark cell."""
+    return (cell.workload, cell.config, cell.model, cell.cycles,
+            cell.instructions, cell.code_size, cell.exit_code,
+            cell.collections, cell.output, cell.postprocessed)
+
+
+def _rows_obs(rows):
+    return {name: {cfg: _cell_obs(cell) for cfg, cell in row.cells.items()}
+            for name, row in rows.items()}
+
+
+class TestBenchEquivalence:
+    def test_serial_one_worker_n_workers_identical(self, tiny_workloads):
+        runs = [Harness("ss10").run_all(("tiny",), workers=w)
+                for w in (1, 2, WORKERS)]
+        expect = _rows_obs(runs[0])
+        for rows in runs[1:]:
+            assert _rows_obs(rows) == expect
+
+    def test_postproc_rows_identical(self, tiny_workloads):
+        serial = Harness("ss10").run_postproc_rows(("tiny",), workers=1)
+        sharded = Harness("ss10").run_postproc_rows(("tiny",), workers=WORKERS)
+        assert {k: _cell_obs(c) for k, c in serial["tiny"].items()} == \
+               {k: _cell_obs(c) for k, c in sharded["tiny"].items()}
+
+    def test_sharded_cells_carry_shard_tagged_telemetry(self, tiny_workloads):
+        obs_runtime.enable_tracing()
+        try:
+            Harness("ss10").run_all(("tiny",), workers=2)
+            tracer = obs_runtime.get_tracer()
+            cells = [e for e in tracer.events if e.name == "bench.cell"]
+            assert len(cells) == 4  # one per config
+            assert all("shard" in e.args for e in cells)
+            assert {e.args["shard"] for e in cells} == {0, 1}
+        finally:
+            obs_runtime.reset()
+
+
+class TestOracleEquivalence:
+    def test_report_identical_for_any_worker_count(self):
+        source = generate_program(0)
+        reports = [check_program(source, models=("ss10", "ss2"), workers=w)
+                   for w in (1, WORKERS)]
+        a, b = reports
+        assert a.describe() == b.describe()
+        assert a.runs == b.runs
+        assert a.gc_totals.same_obj_checks == b.gc_totals.same_obj_checks
+        assert a.gc_totals.collections == b.gc_totals.collections
+
+
+class TestCampaignEquivalence:
+    def test_clean_campaign_report_bytes_identical(self):
+        kwargs = dict(seed=0, iters=4, models=("ss10",), stop_after=None)
+        serial = run_campaign(workers=1, **kwargs)
+        sharded = run_campaign(workers=WORKERS, **kwargs)
+        assert serial.report() == sharded.report()
+        assert serial.ok and sharded.ok
+
+    def test_stop_after_cut_identical_under_sharding(self):
+        # Program seed 3 is the first rebroken-addrfold mismatch, so a
+        # serial stop_after=1 run consumes iterations 0..3 and stops.
+        # The sharded run *executes* all six iterations, but the merge
+        # walks records in iteration order applying the same cut — the
+        # report (counts, gc totals, findings) must come out identical.
+        kwargs = dict(seed=0, iters=6, models=("ss10",), stop_after=1,
+                      progress_every=0)
+        with rebroken_addrfold():
+            serial = run_campaign(workers=1, **kwargs)
+            sharded = run_campaign(workers=WORKERS, **kwargs)
+        assert not serial.ok
+        assert serial.iterations == sharded.iterations == 4
+        assert [f.iteration for f in serial.findings] == [3]
+        assert [f.iteration for f in sharded.findings] == [3]
+        assert serial.report() == sharded.report()
+
+
+# -- acceptance-criterion runs (slow lane) ---------------------------------
+
+@pytest.mark.slow
+class TestFullMatrixEquivalence:
+    def test_full_benchmark_report_bytes_identical(self):
+        serial = generate(models=("ss10",), workers=1)
+        sharded = generate(models=("ss10",), workers=4)
+        assert serial == sharded
+
+    @pytest.mark.fuzz
+    def test_200_iteration_campaign_bytes_identical(self):
+        kwargs = dict(seed=0, iters=200, models=("ss10",), stop_after=None,
+                      progress_every=0)
+        serial = run_campaign(workers=1, **kwargs)
+        sharded = run_campaign(workers=4, **kwargs)
+        assert serial.report() == sharded.report()

@@ -1,0 +1,62 @@
+"""Reducer-through-engine (satellite): delta-debugging probes route
+through the execution engine pinned to ``workers=1``, and reduction
+under a warm compile cache minimizes to the same program as cold."""
+
+from repro.exec.cache import CompileCache, cache_context
+from repro.fuzz.brokenpass import rebroken_addrfold
+from repro.fuzz.oracle import check_program, mismatch_predicate
+from repro.fuzz.reduce import ReduceStats, reduce_source
+from repro.obs import runtime as obs_runtime
+
+from .conftest import MISCOMPILE
+
+
+def _reduce_once(pred):
+    stats = ReduceStats()
+    minimized = reduce_source(MISCOMPILE, pred, stats=stats)
+    return minimized, stats
+
+
+class TestReduceThroughEngine:
+    def test_probes_run_inline_through_the_engine(self):
+        # Reduction is a sequential search — every probe depends on the
+        # previous answer — so the predicate must pin workers=1 even
+        # when built inside a parallel campaign.  The engine span's
+        # ``inline`` flag records which path ran.
+        with rebroken_addrfold():
+            report = check_program(MISCOMPILE, models=("ss10",))
+            assert not report.ok, report.describe()
+            pred = mismatch_predicate(report.mismatches[0].signature())
+            obs_runtime.enable_tracing()
+            try:
+                assert pred(MISCOMPILE)
+                tracer = obs_runtime.get_tracer()
+                spans = [e for e in tracer.events
+                         if e.name == "oracle.run_sharded"]
+                assert spans, "probes bypassed the engine"
+                assert all(e.args["inline"] and e.args["workers"] == 1
+                           for e in spans)
+            finally:
+                obs_runtime.reset()
+
+    def test_warm_cache_reduces_to_same_program_as_cold(self, cache_root):
+        with rebroken_addrfold():
+            report = check_program(MISCOMPILE, models=("ss10",))
+            pred = mismatch_predicate(report.mismatches[0].signature())
+            cold_min, cold_stats = _reduce_once(pred)  # no cache at all
+            cache = CompileCache(cache_root)
+            with cache_context(cache):
+                populate_min, _ = _reduce_once(pred)   # fills the cache
+                stores = cache.stats.stores
+                assert stores > 0
+                warm_min, warm_stats = _reduce_once(pred)  # serves from it
+        assert cold_min == populate_min == warm_min
+        assert cold_stats.tests == warm_stats.tests
+        # The warm pass re-probes the same candidate sequence, so it is
+        # (almost) all hits and stores (almost) nothing new.
+        assert cache.stats.hits > 0
+        assert cache.stats.stores == stores
+        # The minimized program still reproduces, and is actually small.
+        with rebroken_addrfold():
+            assert pred(warm_min)
+        assert len(warm_min.splitlines()) < len(MISCOMPILE.splitlines())
