@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""CI gate: the fault-injection seams must cost <2% on uninjected runs.
+
+The resilience layer (PR 5) threads hook calls through the engine's
+worker loop, the cache read/write paths, and the compile driver.  With
+no fault plan installed every hook is a single ``is None`` check; this
+gate proves that claim end to end by timing a sharded engine run —
+compile + execute per task, the seams' home turf — at HEAD against a
+baseline git revision:
+
+    python benchmarks/check_resil_overhead.py --baseline origin/main
+    python benchmarks/check_resil_overhead.py --baseline <sha> --repeats 7
+
+Methodology matches ``check_obs_overhead.py``: the baseline tree is
+materialized with ``git worktree add``, repeats are interleaved to
+decorrelate from CI-runner drift, and the minimum wall time of each
+side is compared.  The summed simulated cycle counts are additionally
+asserted bit-identical across every run of both trees — recovery
+machinery must be invisible when nothing fails.
+
+Exit codes: 0 ok (or SKIP when the baseline is unresolvable),
+1 overhead above threshold, 2 cycle-count mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Runs in a child interpreter with PYTHONPATH set by the parent; prints
+# one JSON line {"wall_s": ..., "cycles": ...}.  Deliberately restricted
+# to API that exists on both sides of this PR (no policy= kwarg).
+CHILD = r"""
+import json, sys, time
+from repro.exec.engine import run_sharded
+from repro.machine.driver import CompileConfig, compile_source
+from repro.machine.models import MODELS
+from repro.machine.vm import VM
+
+TEMPLATE = '''
+int main(void) {
+    char *s;
+    int i, j, t;
+    t = %d;
+    for (j = 0; j < 40; j++) {
+        s = (char *) GC_malloc(64);
+        for (i = 0; i < 64; i++) s[i] = (i + j) & 0x7F;
+        for (i = 0; i < 64; i++) t += s[i];
+    }
+    return t & 0xFF;
+}
+'''
+
+def cell(n):
+    config = CompileConfig.named("O_safe", MODELS["ss10"])
+    compiled = compile_source(TEMPLATE % n, config)
+    vm = VM(compiled.asm, config.model)
+    result = vm.run()
+    return (result.cycles, result.exit_code)
+
+tasks, workers = int(sys.argv[1]), int(sys.argv[2])
+payloads = list(range(tasks))
+t0 = time.perf_counter()
+merged = run_sharded(payloads, cell, workers=workers)
+wall = time.perf_counter() - t0
+assert merged.ok, merged.shard_failures or merged.task_failures
+print(json.dumps({"wall_s": wall,
+                  "cycles": sum(c for c, _ in merged.results)}))
+"""
+
+
+def run_once(src_dir: str, tasks: int, workers: int) -> dict:
+    env = dict(os.environ, PYTHONPATH=src_dir)
+    out = subprocess.run(
+        [sys.executable, "-c", CHILD, str(tasks), str(workers)],
+        capture_output=True, text=True, env=env, cwd=REPO, check=True)
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def resolve_baseline(ref: str) -> str | None:
+    probe = subprocess.run(["git", "rev-parse", "--verify", ref + "^{commit}"],
+                           capture_output=True, text=True, cwd=REPO)
+    return probe.stdout.strip() if probe.returncode == 0 else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default="HEAD~1",
+                    help="git rev to compare against (default: HEAD~1)")
+    ap.add_argument("--tasks", type=int, default=8)
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="max allowed overhead in percent (default: 2)")
+    ap.add_argument("--repeats", type=int, default=5)
+    args = ap.parse_args(argv)
+
+    sha = resolve_baseline(args.baseline)
+    if sha is None:
+        print(f"SKIP: cannot resolve baseline {args.baseline!r} "
+              f"(shallow clone?)")
+        return 0
+
+    with tempfile.TemporaryDirectory(prefix="resil-baseline-") as tmp:
+        base_tree = os.path.join(tmp, "tree")
+        subprocess.run(["git", "worktree", "add", "--detach", base_tree, sha],
+                       check=True, cwd=REPO, capture_output=True)
+        try:
+            head_src = os.path.join(REPO, "src")
+            base_src = os.path.join(base_tree, "src")
+            head_runs, base_runs = [], []
+            for i in range(args.repeats):
+                # Interleave to decorrelate from slow CI-runner drift.
+                head_runs.append(run_once(head_src, args.tasks, args.workers))
+                base_runs.append(run_once(base_src, args.tasks, args.workers))
+                print(f"  repeat {i + 1}/{args.repeats}: "
+                      f"head {head_runs[-1]['wall_s']:.3f}s  "
+                      f"base {base_runs[-1]['wall_s']:.3f}s", flush=True)
+        finally:
+            subprocess.run(["git", "worktree", "remove", "--force", base_tree],
+                           cwd=REPO, capture_output=True)
+
+    head_cycles = {r["cycles"] for r in head_runs}
+    base_cycles = {r["cycles"] for r in base_runs}
+    if len(head_cycles) != 1 or len(base_cycles) != 1:
+        print(f"FAIL: nondeterministic cycle counts "
+              f"(head {head_cycles}, base {base_cycles})")
+        return 2
+    if head_cycles != base_cycles:
+        print(f"FAIL: simulated cycles drifted: head {head_cycles.pop()} "
+              f"vs baseline {base_cycles.pop()} — the resilience layer "
+              f"must be invisible when nothing fails")
+        return 2
+
+    head = min(r["wall_s"] for r in head_runs)
+    base = min(r["wall_s"] for r in base_runs)
+    overhead = 100.0 * (head - base) / base
+    verdict = "OK" if overhead <= args.threshold else "FAIL"
+    print(f"{verdict}: sharded engine ({args.tasks} tasks, "
+          f"{args.workers} workers) uninjected overhead {overhead:+.2f}% "
+          f"(head {head:.3f}s vs base {base:.3f}s, min of {args.repeats}; "
+          f"threshold {args.threshold:.1f}%)")
+    return 0 if overhead <= args.threshold else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

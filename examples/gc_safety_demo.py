@@ -19,8 +19,7 @@ model) and with reclaimed objects poisoned:
 Run:  python examples/gc_safety_demo.py
 """
 
-from repro.gc import Collector
-from repro.machine import CompileConfig, VM, compile_source
+from repro.api import Toolchain
 
 SOURCE = """\
 int helper(int x) { return x + 1; }
@@ -45,18 +44,14 @@ EXPECTED = ord("D")
 
 
 def run(config_name: str, gc_every_instruction: bool) -> int:
-    config = CompileConfig.named(config_name)
-    compiled = compile_source(SOURCE, config)
-    collector = Collector()
-    collector.heap.poison_byte = 0xDD  # make use-after-collect visible
-    vm = VM(compiled.asm, config.model, collector=collector,
-            gc_interval=1 if gc_every_instruction else 0)
-    result = vm.run()
-    return result.exit_code
+    # poison=True makes any use-after-collect visible in the result.
+    tc = Toolchain(config=config_name, poison=True,
+                   gc_interval=1 if gc_every_instruction else 0)
+    return tc.run(SOURCE).exit_code
 
 
 def main() -> None:
-    compiled = compile_source(SOURCE, CompileConfig.named("O"))
+    compiled = Toolchain(config="O").compile(SOURCE)
     print("Optimized code for read_it — note the disguising rewrite")
     print("(p is overwritten by p-1000 before the load):\n")
     print(compiled.asm.functions["read_it"].render())

@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
 """Quickstart: annotate C source for GC-safety and for pointer checking.
 
-This is the paper's preprocessor as a three-line library call:
+This is the paper's preprocessor behind the toolchain facade:
 
-    result = annotate_source(c_source, mode="safe")      # KEEP_LIVE
-    result = annotate_source(c_source, mode="checked")   # GC_same_obj
+    tc = Toolchain()
+    result = tc.annotate(c_source)                   # KEEP_LIVE
+    result = tc.annotate(c_source, Mode.CHECKED)     # GC_same_obj
+    diags  = tc.check(c_source)                      # source safety
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import annotate_source, check_source
+from repro.api import Mode, Toolchain
 
 SOURCE = """\
 struct node { int value; struct node *next; };
@@ -50,11 +52,12 @@ void hide(char **box, char *p) {
 
 
 def main() -> None:
+    tc = Toolchain()
     print("=" * 72)
     print("GC-safety mode: every pointer expression that is stored,")
     print("dereferenced, passed or returned becomes KEEP_LIVE(e, BASE(e)).")
     print("=" * 72)
-    safe = annotate_source(SOURCE, mode="safe")
+    safe = tc.annotate(SOURCE)
     print(safe.text)
     print(f"--> {safe.stats.keep_lives} KEEP_LIVE calls inserted, "
           f"{safe.stats.suppressed_copies} suppressed as plain copies, "
@@ -66,14 +69,14 @@ def main() -> None:
     print("Checking (debugging) mode: the same insertion points get real")
     print("GC_same_obj / GC_post_incr calls that verify the arithmetic.")
     print("=" * 72)
-    checked = annotate_source(SOURCE, mode="checked")
+    checked = tc.annotate(SOURCE, Mode.CHECKED)
     print(checked.text)
 
     print()
     print("=" * 72)
     print("Source-safety diagnostics (paper's 'Source Checking'):")
     print("=" * 72)
-    for diag in check_source(BAD_SOURCE):
+    for diag in tc.check(BAD_SOURCE):
         print("  " + diag.render(BAD_SOURCE))
 
 

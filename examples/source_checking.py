@@ -9,7 +9,9 @@ violations and stays quiet on the benign cases.
 Run:  python examples/source_checking.py
 """
 
-from repro.core import check_source
+from repro.api import Toolchain
+
+check_source = Toolchain().check
 
 GALLERY = [
     ("int cast to pointer (disguise)", """

@@ -17,13 +17,19 @@ Subpackages:
 * :mod:`repro.workloads` / :mod:`repro.bench` — the cordtest / cfrac /
   gawk / gs stand-ins and the table-reproduction harness.
 
-Quick start::
+Quick start (the unified facade)::
 
-    from repro.core import annotate_source
-    print(annotate_source("char *f(char *p) { return p + 1; }").text)
+    from repro.api import Toolchain
+    tc = Toolchain()
+    print(tc.annotate("char *f(char *p) { return p + 1; }").text)
+
+``annotate_source`` / ``check_source`` remain as deprecated module-level
+shims.
 """
 
+from .api import Mode, Options, Toolchain
 from .core.api import AnnotatedSource, annotate_source, check_source
 
 __version__ = "1.0.0"
-__all__ = ["AnnotatedSource", "annotate_source", "check_source", "__version__"]
+__all__ = ["AnnotatedSource", "annotate_source", "check_source",
+           "Toolchain", "Options", "Mode", "__version__"]

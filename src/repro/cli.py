@@ -20,6 +20,15 @@
     python -m repro cache stats|clear|verify [--cache-dir DIR]
         Inspect / wipe / checksum-verify the content-addressed caches.
 
+    python -m repro chaos [--seed N] [--faults SPEC] [--workers N]
+        Run the bench/fuzz matrix under a deterministic fault plan and
+        assert the reports are byte-identical to the fault-free run.
+
+The commands are thin shells over :class:`repro.api.Toolchain` — one
+options bag, one facade; anything a command does is equally scriptable.
+Machine-readable outputs carry a ``{"schema": "repro-<name>/1"}``
+envelope (see docs/ARCHITECTURE.md for the schema registry).
+
 Every subcommand also accepts the telemetry flags ``--trace FILE``
 (write a JSONL trace of compile-pipeline spans, GC pauses, and VM runs;
 load in ``python -m repro.obs report`` or convert for chrome://tracing)
@@ -31,19 +40,21 @@ executed benchmark cells across invocations.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
+from .api import Toolchain
 from .cfront.errors import CFrontError
 from .core.annotate import AnnotateOptions
-from .core.api import annotate_source, check_source
 from .exec import cache as exec_cache
 from .exec.cli import add_cache_parser, resolve_cache_dir
-from .gc.collector import Collector, GCCheckError
-from .machine.driver import CompileConfig, compile_source
+from .gc.collector import GCCheckError
 from .machine.models import MODELS
-from .machine.vm import VM, VMError
+from .machine.vm import VMError
 from .obs import runtime as obs_runtime
 from .postproc import postprocess
+from .resil.cli import add_chaos_parser
 
 
 def _read(path: str) -> str:
@@ -62,8 +73,21 @@ def cmd_annotate(args: argparse.Namespace) -> int:
         base_heuristic=not args.no_heuristic,
         call_safe_points=args.call_safe_points,
     )
-    result = annotate_source(source, mode=args.mode, options=options,
-                             run_cpp=not args.no_cpp)
+    tc = Toolchain(mode=args.mode, run_cpp=not args.no_cpp, annotate=options)
+    result = tc.annotate(source)
+    if args.json:
+        print(json.dumps({
+            "schema": "repro-annotate/1",
+            "mode": args.mode,
+            "text": result.text,
+            "keep_lives": result.stats.keep_lives,
+            "stats": dataclasses.asdict(result.stats),
+            "diagnostics": [
+                {"pos": d.pos, "line": source.count("\n", 0, d.pos) + 1,
+                 "category": d.category, "message": d.message}
+                for d in result.diagnostics],
+        }, indent=2, sort_keys=True))
+        return 0
     if args.warnings:
         for diag in result.diagnostics:
             print(diag.render(source), file=sys.stderr)
@@ -75,7 +99,7 @@ def cmd_annotate(args: argparse.Namespace) -> int:
 
 def cmd_check(args: argparse.Namespace) -> int:
     source = _read(args.file)
-    diags = check_source(source, run_cpp=not args.no_cpp)
+    diags = Toolchain(run_cpp=not args.no_cpp).check(source)
     for diag in diags:
         print(diag.render(source))
     return 1 if diags else 0
@@ -83,24 +107,18 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 def cmd_cc(args: argparse.Namespace) -> int:
     source = _read(args.file)
-    model = MODELS[args.model]
-    config = CompileConfig.named(args.config, model)
-    compiled = compile_source(source, config)
+    tc = Toolchain(config=args.config, model=args.model,
+                   gc_interval=args.gc_interval, poison=args.poison)
+    compiled = tc.compile(source)
     if args.postproc:
         stats = postprocess(compiled.asm)
         print(f"! postprocessor: {stats}", file=sys.stderr)
     if args.dump_asm:
         print(compiled.asm.render())
         return 0
-    collector = Collector()
-    if args.poison:
-        collector.heap.poison_byte = 0xDD
-    vm = VM(compiled.asm, model, collector=collector,
-            gc_interval=args.gc_interval)
-    if args.stdin:
-        vm.stdin = _read(args.stdin)
     try:
-        result = vm.run()
+        result = tc.execute(compiled,
+                            stdin=_read(args.stdin) if args.stdin else "")
     except GCCheckError as exc:
         print(f"! pointer check failed: {exc}", file=sys.stderr)
         return 3
@@ -112,14 +130,13 @@ def cmd_cc(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from .bench.harness import Harness
     from .bench.tables import render_slowdown_table
     table_key = {"ss2": "t1_ss2", "ss10": "t2_ss10", "p90": "t3_p90"}[args.model]
-    harness = Harness(args.model)
+    tc = Toolchain(model=args.model, workers=args.workers)
     workloads = tuple(args.workloads.split(",")) if args.workloads else None
-    rows = harness.run_all(workloads, workers=args.workers)
+    rows = tc.bench(workloads)
     print(render_slowdown_table(
-        rows, table_key, f"Slowdowns on {harness.model.name}"))
+        rows, table_key, f"Slowdowns on {MODELS[args.model].name}"))
     return 0
 
 
@@ -152,6 +169,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--call-safe-points", action="store_true")
     p.add_argument("--warnings", action="store_true")
     p.add_argument("--stats", action="store_true")
+    p.add_argument("--json", action="store_true",
+                   help="emit a repro-annotate/1 JSON envelope")
     _add_obs_args(p)
     p.set_defaults(fn=cmd_annotate)
 
@@ -185,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_bench)
 
     add_cache_parser(sub)
+    add_chaos_parser(sub)
     return parser
 
 
@@ -193,8 +213,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     trace_file = getattr(args, "trace", None)
     profile_on = getattr(args, "profile", False)
+    # cache manages tiers explicitly; chaos builds its own throwaway root
     cache_dir = (resolve_cache_dir(getattr(args, "cache_dir", None))
-                 if args.command != "cache" else None)
+                 if args.command not in ("cache", "chaos") else None)
     caches = ()
     if cache_dir:
         caches = exec_cache.open_caches(cache_dir)

@@ -5,11 +5,16 @@ library.
 >>> result = annotate_source("char *f(char *p) { return p + 1; }")
 >>> print(result.text)            # doctest: +SKIP
 char *f(char *p) { return KEEP_LIVE((p + 1), p); }
+
+``annotate_source`` / ``check_source`` are kept as deprecation shims for
+the original module-level API; new code should go through the unified
+facade, :class:`repro.api.Toolchain`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 
 from ..cfront import cast as A
 from ..cfront.cpp import preprocess
@@ -38,13 +43,17 @@ class AnnotatedSource:
         return self.stats.keep_lives
 
     def render_diagnostics(self, source: str) -> str:
+        """One line per diagnostic, no trailing newline; empty string
+        (not ``"\\n"``) when there are no diagnostics."""
+        if not self.diagnostics:
+            return ""
         return "\n".join(d.render(source) for d in self.diagnostics)
 
 
-def annotate_source(source: str, mode: str = SAFE,
-                    options: AnnotateOptions | None = None,
-                    run_cpp: bool = False,
-                    include_dirs: list[str] | None = None) -> AnnotatedSource:
+def _annotate_source(source: str, mode: str = SAFE,
+                     options: AnnotateOptions | None = None,
+                     run_cpp: bool = False,
+                     include_dirs: list[str] | None = None) -> AnnotatedSource:
     """Annotate C source for GC-safety (``mode='safe'``) or pointer-
     arithmetic checking (``mode='checked'``).
 
@@ -58,7 +67,8 @@ def annotate_source(source: str, mode: str = SAFE,
     if options is None:
         options = AnnotateOptions(mode=mode)
     else:
-        options.mode = mode
+        # Copy, never mutate: options is caller-owned and reusable.
+        options = replace(options, mode=mode)
     unit = parse(source)
     typecheck(unit)
     diagnostics = check_unit(unit)
@@ -68,8 +78,8 @@ def annotate_source(source: str, mode: str = SAFE,
                            diagnostics=diagnostics)
 
 
-def check_source(source: str, run_cpp: bool = False,
-                 include_dirs: list[str] | None = None) -> list[Diagnostic]:
+def _check_source(source: str, run_cpp: bool = False,
+                  include_dirs: list[str] | None = None) -> list[Diagnostic]:
     """Run only the source-safety checks (paper's "Source Checking"),
     without transforming the program."""
     if run_cpp:
@@ -77,6 +87,29 @@ def check_source(source: str, run_cpp: bool = False,
     unit = parse(source)
     typecheck(unit)
     return check_unit(unit)
+
+
+def annotate_source(source: str, mode: str = SAFE,
+                    options: AnnotateOptions | None = None,
+                    run_cpp: bool = False,
+                    include_dirs: list[str] | None = None) -> AnnotatedSource:
+    """Deprecated shim — use :meth:`repro.api.Toolchain.annotate`."""
+    warnings.warn(
+        "repro.core.api.annotate_source is deprecated; use "
+        "repro.api.Toolchain(...).annotate(source)",
+        DeprecationWarning, stacklevel=2)
+    return _annotate_source(source, mode=mode, options=options,
+                            run_cpp=run_cpp, include_dirs=include_dirs)
+
+
+def check_source(source: str, run_cpp: bool = False,
+                 include_dirs: list[str] | None = None) -> list[Diagnostic]:
+    """Deprecated shim — use :meth:`repro.api.Toolchain.check`."""
+    warnings.warn(
+        "repro.core.api.check_source is deprecated; use "
+        "repro.api.Toolchain(...).check(source)",
+        DeprecationWarning, stacklevel=2)
+    return _check_source(source, run_cpp=run_cpp, include_dirs=include_dirs)
 
 
 def _render(source: str, unit: A.TranslationUnit, result: AnnotationResult,

@@ -20,6 +20,7 @@ from .cache import (  # noqa: F401
     install_cache, salt_context, uninstall_cache,
 )
 from .engine import (  # noqa: F401
-    EngineError, MergedRun, ShardFailure, ShardPlan, TaskFailure,
-    WorkerResult, plan_shards, run_sharded,
+    NO_RETRY, EngineError, MergedRun, ResilPolicy, ShardFailure, ShardPlan,
+    TaskFailure, default_policy, plan_shards, policy_context, run_sharded,
+    set_default_policy,
 )

@@ -39,6 +39,15 @@ Hit/miss/eviction counters live on :attr:`_DiskCache.stats`, are merged
 across engine workers, surface as ``cache.hit`` / ``cache.miss`` /
 ``cache.evict`` instants on the active tracer, and drive the
 ``repro cache stats|clear|verify`` CLI.
+
+Resilience: the cache is an accelerator, never a dependency.  A write
+failing with ``OSError`` (ENOSPC and friends) is counted and skipped,
+not raised.  ``breaker_threshold`` *consecutive* corrupt reads trip a
+circuit breaker that bypasses the tier for the rest of the process
+(every lookup a miss, every store skipped) with one stderr warning —
+a rotten cache directory degrades throughput, not correctness.  Reads
+and writes pass through :mod:`repro.resil.inject` so chaos plans can
+corrupt entries / fail writes deterministically.
 """
 
 from __future__ import annotations
@@ -47,12 +56,14 @@ import hashlib
 import json
 import os
 import pickle
+import sys
 import tempfile
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterator
 
 from ..obs import runtime as obs_runtime
+from ..resil import inject as resil_inject
 
 # Bump whenever any pipeline stage may produce different output for the
 # same (source, config): it salts every key, orphaning old entries.
@@ -74,6 +85,8 @@ class CacheStats:
     stores: int = 0
     corrupt_evicted: int = 0
     cleared: int = 0
+    breaker_trips: int = 0
+    write_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -86,7 +99,9 @@ class CacheStats:
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores,
                 "corrupt_evicted": self.corrupt_evicted,
-                "cleared": self.cleared}
+                "cleared": self.cleared,
+                "breaker_trips": self.breaker_trips,
+                "write_errors": self.write_errors}
 
     def merge(self, other: "CacheStats | dict") -> "CacheStats":
         d = other.to_dict() if isinstance(other, CacheStats) else other
@@ -124,11 +139,15 @@ class _DiskCache:
     """Shared content-addressed store; subclasses define key schemas."""
 
     kind = "generic"
+    #: Consecutive corrupt reads that open the circuit breaker.
+    breaker_threshold = 3
 
     def __init__(self, root: str, salt: str = CODE_VERSION):
         self.root = os.path.abspath(root)
         self.salt = salt
         self.stats = CacheStats()
+        self._corrupt_streak = 0
+        self._breaker_open = False
 
     # -- keys --------------------------------------------------------------
 
@@ -143,6 +162,9 @@ class _DiskCache:
 
     def get(self, key: str) -> Any | None:
         """Load + verify one entry; corrupt entries are evicted."""
+        if self._breaker_open:
+            self.stats.misses += 1
+            return None
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
@@ -151,39 +173,84 @@ class _DiskCache:
             self.stats.misses += 1
             self._instant("cache.miss", key)
             return None
+        blob = resil_inject.filter_cache_read(self.kind, blob)
         payload = self._verified_payload(blob)
         if payload is None:
             self._evict(path, key)
             self.stats.misses += 1
+            self._note_corrupt()
             return None
         try:
             value = pickle.loads(payload)
         except Exception:
             self._evict(path, key)
             self.stats.misses += 1
+            self._note_corrupt()
             return None
         self.stats.hits += 1
+        self._corrupt_streak = 0
         self._instant("cache.hit", key)
         return value
 
     def put(self, key: str, value: Any) -> None:
+        if self._breaker_open:
+            return
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         blob = _MAGIC + hashlib.sha256(payload).digest() + payload
         path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   prefix=".tmp-" + key[:8])
+        tmp = None
         try:
+            resil_inject.check_cache_write(self.kind)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       prefix=".tmp-" + key[:8])
             with os.fdopen(fd, "wb") as fh:
                 fh.write(blob)
             os.replace(tmp, path)
+        except OSError:
+            # Disk trouble (ENOSPC and friends) must never fail the run:
+            # the cache is an accelerator, not a dependency.
+            self._cleanup_tmp(tmp)
+            self.stats.write_errors += 1
+            self._instant("cache.write_error", key)
+            return
         except BaseException:
+            self._cleanup_tmp(tmp)
+            raise
+        self.stats.stores += 1
+
+    @staticmethod
+    def _cleanup_tmp(tmp: str | None) -> None:
+        if tmp is not None:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
-            raise
-        self.stats.stores += 1
+
+    # -- circuit breaker ---------------------------------------------------
+
+    @property
+    def breaker_open(self) -> bool:
+        return self._breaker_open
+
+    def _note_corrupt(self) -> None:
+        self._corrupt_streak += 1
+        if (not self._breaker_open
+                and self._corrupt_streak >= self.breaker_threshold):
+            self._breaker_open = True
+            self.stats.breaker_trips += 1
+            tracer = obs_runtime.get_tracer()
+            if tracer.enabled:
+                tracer.instant("cache.breaker_trip", kind=self.kind,
+                               streak=self._corrupt_streak)
+            print(f"! cache[{self.kind}]: circuit breaker open after "
+                  f"{self._corrupt_streak} consecutive corrupt reads; "
+                  f"bypassing this tier for the rest of the run",
+                  file=sys.stderr)
+
+    def reset_breaker(self) -> None:
+        self._corrupt_streak = 0
+        self._breaker_open = False
 
     @staticmethod
     def _verified_payload(blob: bytes) -> bytes | None:

@@ -37,6 +37,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
         report = {cache.kind: {"entries": cache.entry_count(),
                                "bytes": cache.total_bytes()}
                   for cache in tiers}
+        report["schema"] = "repro-cache-stats/1"
         report["root"] = os.path.abspath(root)
         if args.json:
             print(json.dumps(report, indent=2, sort_keys=True))
@@ -54,7 +55,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 0
     if args.action == "verify":
         evicted_total = 0
-        report = {}
+        report = {"schema": "repro-cache-verify/1"}
         for cache in tiers:
             result = cache.verify()
             report[cache.kind] = result

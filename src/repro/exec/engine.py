@@ -1,4 +1,4 @@
-"""Deterministic sharded worker-pool execution.
+"""Deterministic sharded worker-pool execution with failure recovery.
 
 The model is deliberately simple so that equivalence with the serial
 path is provable:
@@ -18,33 +18,60 @@ path is provable:
   containment semantics (per-task exception capture), no subprocess —
   which is what reducer probes pin themselves to.
 
-Containment:
+Resilience (:class:`ResilPolicy`, on by default):
 
-* ``fn`` raising captures a :class:`TaskFailure` for that index only.
-* A worker *dying* (hard crash, ``os._exit``, kill) poisons only the
-  not-yet-reported tasks of its shard: they surface as a
-  :class:`ShardFailure` in the merge, every other shard's results stand.
-* A ``timeout`` (seconds, wall clock) terminates still-running workers
-  and poisons their unreported tasks the same way.
+* A worker dying, hanging past the per-task timeout, or corrupting its
+  pipe loses only its *unreported* tasks — and those are retried, up to
+  ``max_rounds`` extra rounds with deterministic backoff, replanned
+  round-robin over fresh workers.  Because every task is a pure
+  function of its payload and results merge in canonical order, a
+  retried task's result is byte-identical to an untroubled run's.
+* Each worker death is attributed to the first unreported task of the
+  dead shard (the one it was presumably running).  A task blamed for
+  ``max_task_deaths`` deaths is **quarantined**: it runs once more
+  pinned alone in a single-task process, and if it kills that worker
+  too it is reported as a contained :class:`TaskFailure` — a poison
+  task costs the run one index, never the run.
+* Tasks still unfinished when the retry budget runs out fall back to
+  pinned serial execution (``serial_fallback``), flagged as a degraded
+  run; with the fallback disabled they surface as the classic
+  :class:`ShardFailure`.
+* ``NO_RETRY`` restores the pre-resilience containment semantics
+  (one round, shard losses surface immediately).
+
+A run-level ``timeout`` still bounds the whole job: when the deadline
+expires, unreported work surfaces as ``ShardFailure("timed out")`` and
+no retries are attempted — the budget is gone.
+
+Fault injection: the worker loop, the pipe sender, and the pinned
+runner consult :mod:`repro.resil.inject` at each seam.  With no fault
+plan installed (always, outside chaos testing) every hook is a single
+``is None`` check.
 
 Telemetry: when the parent's ``repro.obs`` tracer is enabled, each
 worker records into a fresh tracer and ships its events home in its
 final message; the parent absorbs them as shard-tagged events in one
-``repro-obs-trace/1`` stream.  Cache hit/miss counters from the
-worker's process-local :mod:`repro.exec.cache` stats are merged into
-the parent's the same way.
+``repro-obs-trace/1`` stream, and recovery actions surface as
+``resil.*`` instants (worker_lost, retry, quarantine, degraded).
+Cache hit/miss counters from the worker's process-local
+:mod:`repro.exec.cache` stats are merged into the parent's the same
+way.
 """
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import multiprocessing.connection
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
 from ..obs import runtime as obs_runtime
+from ..resil import inject as resil_inject
 from . import cache as cache_mod
+
+_DEAD_REASONS = ("worker died", "pipe corrupted", "task hung")
 
 
 class EngineError(RuntimeError):
@@ -65,6 +92,54 @@ class ShardPlan:
     @property
     def total(self) -> int:
         return sum(len(s) for s in self.shards)
+
+
+@dataclass(frozen=True)
+class ResilPolicy:
+    """How hard the pool fights to finish every task.
+
+    ``max_rounds`` is the number of *retry* rounds after the initial
+    one; ``backoff_s`` gives the deterministic sleep before retry round
+    k (last value repeats).  ``max_task_deaths`` worker deaths
+    attributed to one task quarantine it; ``task_timeout`` (seconds
+    without a worker reporting anything) converts hangs into worker
+    losses.  ``serial_fallback`` runs still-unfinished tasks pinned
+    one-per-process as a last resort instead of failing their shard.
+    """
+
+    max_rounds: int = 2
+    max_task_deaths: int = 2
+    task_timeout: float | None = None
+    backoff_s: tuple[float, ...] = (0.02, 0.05)
+    serial_fallback: bool = True
+
+
+#: Pre-resilience semantics: one round, losses surface as ShardFailure.
+NO_RETRY = ResilPolicy(max_rounds=0, serial_fallback=False)
+
+_default_policy = ResilPolicy()
+
+
+def default_policy() -> ResilPolicy:
+    return _default_policy
+
+
+def set_default_policy(policy: ResilPolicy) -> None:
+    global _default_policy
+    _default_policy = policy
+
+
+@contextlib.contextmanager
+def policy_context(policy: ResilPolicy | None = None, **overrides):
+    """Run a block under a different default :class:`ResilPolicy`
+    (``policy_context(task_timeout=5.0)`` tweaks the current one)."""
+    previous = _default_policy
+    base = policy if policy is not None else previous
+    set_default_policy(replace(base, **overrides) if overrides else base)
+    try:
+        yield _default_policy
+    finally:
+        set_default_policy(previous)
 
 
 @dataclass
@@ -93,18 +168,6 @@ class ShardFailure:
 
 
 @dataclass
-class WorkerResult:
-    """Everything one worker reported back, pre-merge."""
-
-    shard: int
-    results: dict[int, Any] = field(default_factory=dict)
-    task_failures: list[TaskFailure] = field(default_factory=list)
-    events: list[dict] = field(default_factory=list)
-    cache_stats: dict | None = None
-    completed: bool = False  # sent its "done" message
-
-
-@dataclass
 class MergedRun:
     """Shard results merged back into canonical payload order."""
 
@@ -112,6 +175,12 @@ class MergedRun:
     task_failures: list[TaskFailure] = field(default_factory=list)
     shard_failures: list[ShardFailure] = field(default_factory=list)
     workers: int = 1
+    # Resilience accounting (informational; never affects results):
+    retries: int = 0          # task executions beyond the first round
+    worker_deaths: int = 0    # workers lost to death/hang/pipe rot
+    quarantined: list[int] = field(default_factory=list)
+    degraded: bool = False    # serial fallback had to finish the job
+    rounds: int = 1           # pool rounds actually run
 
     @property
     def ok(self) -> bool:
@@ -129,6 +198,13 @@ class MergedRun:
                 f"{len(self.shard_failures)} shard failure(s)):\n"
                 + self.describe_failures())
         return self
+
+    def resil_summary(self) -> dict:
+        return {"retries": self.retries,
+                "worker_deaths": self.worker_deaths,
+                "quarantined": list(self.quarantined),
+                "degraded": self.degraded,
+                "rounds": self.rounds}
 
 
 def plan_shards(payloads: Sequence[Any], workers: int) -> ShardPlan:
@@ -154,7 +230,8 @@ def _run_inline(plan: ShardPlan,
 
 
 def _worker_main(tasks: list[Task], fn: Callable[[Any], Any],
-                 tracing: bool, conn) -> None:
+                 tracing: bool, conn, shard: int = 0,
+                 attempt: int = 0) -> None:
     """Worker entry point: run the shard, streaming results home.
 
     Runs in a forked child.  A fresh tracer is installed so the shard
@@ -170,33 +247,44 @@ def _worker_main(tasks: list[Task], fn: Callable[[Any], Any],
         obs_runtime.disable_tracing()
     for cache in cache_mod.active_caches():
         cache.stats = cache_mod.CacheStats()
+    resil_inject.worker_started(shard, attempt)
+    send = resil_inject.wrap_send(conn)
+    sent = 0
     for task in tasks:
+        resil_inject.on_task_start(task.index)
         try:
             result = fn(task.payload)
         except Exception as exc:
-            conn.send(("error", task.index, f"{type(exc).__name__}: {exc}"))
+            send(("error", task.index, f"{type(exc).__name__}: {exc}"))
         else:
-            conn.send(("result", task.index, result))
+            send(("result", task.index, result))
+        sent += 1
+        resil_inject.on_task_reported(sent)
     events = ([e.to_json() for e in obs_runtime.get_tracer().sorted_events()]
               if tracing else [])
     stats = {kind: cache.stats.to_dict()
              for kind, cache in cache_mod.active_caches_by_kind().items()}
-    conn.send(("done", events, stats))
+    send(("done", events, stats))
     conn.close()
 
 
 def run_sharded(payloads: Sequence[Any], fn: Callable[[Any], Any],
                 workers: int = 1, timeout: float | None = None,
-                label: str = "exec") -> MergedRun:
+                label: str = "exec",
+                policy: ResilPolicy | None = None) -> MergedRun:
     """Run ``fn`` over ``payloads`` across ``workers`` processes.
 
     Results come back merged in payload order (:class:`MergedRun`);
     failures are contained per task / per shard, never raised here —
     call :meth:`MergedRun.raise_on_failure` when partial results are
-    unacceptable.
+    unacceptable.  ``policy`` (default: the process-wide
+    :func:`default_policy`) controls retry/quarantine behavior; pass
+    :data:`NO_RETRY` for strict single-round containment.
     """
     payloads = list(payloads)
     tracer = obs_runtime.get_tracer()
+    if policy is None:
+        policy = _default_policy
     if workers <= 1:
         with tracer.span(f"{label}.run_sharded", workers=1,
                          tasks=len(payloads), inline=True):
@@ -204,90 +292,47 @@ def run_sharded(payloads: Sequence[Any], fn: Callable[[Any], Any],
     plan = plan_shards(payloads, workers)
     with tracer.span(f"{label}.run_sharded", workers=plan.workers,
                      tasks=plan.total, inline=False) as sp:
-        merged = _run_pool(plan, fn, timeout)
+        merged = _run_resilient(plan, fn, timeout, policy)
         sp.set(task_failures=len(merged.task_failures),
-               shard_failures=len(merged.shard_failures))
+               shard_failures=len(merged.shard_failures),
+               retries=merged.retries,
+               worker_deaths=merged.worker_deaths,
+               quarantined=len(merged.quarantined),
+               degraded=merged.degraded)
     return merged
 
 
-def _run_pool(plan: ShardPlan, fn: Callable[[Any], Any],
-              timeout: float | None) -> MergedRun:
-    ctx = multiprocessing.get_context("fork")
-    tracer = obs_runtime.get_tracer()
-    tracing = tracer.enabled
-    states = [WorkerResult(shard=s) for s in range(plan.workers)]
-    procs = []
-    pending: dict[Any, WorkerResult] = {}  # parent conn -> shard state
-    for s in range(plan.workers):
-        parent_conn, child_conn = ctx.Pipe(duplex=False)
-        p = ctx.Process(target=_worker_main,
-                        args=(plan.shards[s], fn, tracing, child_conn),
-                        daemon=True)
-        p.start()
-        child_conn.close()  # parent's copy — else EOF never arrives
-        procs.append(p)
-        pending[parent_conn] = states[s]
-    deadline = None if timeout is None else time.monotonic() + timeout
-    timed_out = False
-    try:
-        while pending:
-            remaining = 0.1
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    timed_out = True
-                    break
-            ready = multiprocessing.connection.wait(
-                list(pending), timeout=min(0.1, remaining))
-            for conn in ready:
-                st = pending[conn]
-                try:
-                    msg = conn.recv()
-                except (EOFError, OSError):
-                    # Worker died; everything it reported is already in.
-                    del pending[conn]
-                    conn.close()
-                    continue
-                if _handle_message(msg, st):
-                    del pending[conn]
-                    conn.close()
-    finally:
-        for p in procs:
-            if p.is_alive():
-                p.terminate()
-        for p in procs:
-            p.join(timeout=5.0)
-        for conn in pending:
-            conn.close()
+@dataclass
+class _ShardState:
+    """One pool worker's reporting, pre-merge."""
 
-    merged = MergedRun(results=[None] * plan.total, workers=plan.workers)
-    for st in states:
-        merged.task_failures.extend(st.task_failures)
-        for idx, value in st.results.items():
-            merged.results[idx] = value
-        if not st.completed:
-            reported = set(st.results) | {f.index for f in st.task_failures}
-            lost = [t.index for t in plan.shards[st.shard]
-                    if t.index not in reported]
-            reason = "timed out" if timed_out else "worker died"
-            merged.shard_failures.append(
-                ShardFailure(st.shard, reason, lost))
-    merged.task_failures.sort(key=lambda f: f.index)
-    merged.shard_failures.sort(key=lambda f: f.shard)
-    # Absorb shard telemetry + cache counters in shard order, so the
-    # merged stream is deterministic given deterministic shard streams.
-    for st in states:
-        if st.events and tracing:
-            tracer.absorb(st.events, shard=st.shard)
-        if st.cache_stats:
-            for kind, stats in st.cache_stats.items():
-                cache = cache_mod.active_cache(kind)
-                if cache is not None:
-                    cache.stats.merge(stats)
-    return merged
+    shard: int
+    tasks: list[Task]
+    results: dict[int, Any] = field(default_factory=dict)
+    errors: list[tuple[int, str]] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+    cache_stats: dict | None = None
+    completed: bool = False       # sent its "done" message
+    death_reason: str | None = None
+
+    def reported(self) -> set[int]:
+        return set(self.results) | {i for i, _ in self.errors}
+
+    def missing(self) -> list[int]:
+        seen = self.reported()
+        return [t.index for t in self.tasks if t.index not in seen]
 
 
-def _handle_message(msg: tuple, st: WorkerResult) -> bool:
+class _Slot:
+    """Live bookkeeping for one running worker."""
+
+    def __init__(self, state: _ShardState, proc) -> None:
+        self.state = state
+        self.proc = proc
+        self.last_progress = time.monotonic()
+
+
+def _handle_message(msg: tuple, st: _ShardState) -> bool:
     """Fold one worker message into its shard state.
 
     Returns True when this was the shard's final ("done") message.
@@ -296,10 +341,274 @@ def _handle_message(msg: tuple, st: WorkerResult) -> bool:
     if kind == "result":
         st.results[msg[1]] = msg[2]
     elif kind == "error":
-        st.task_failures.append(TaskFailure(msg[1], st.shard, msg[2]))
+        st.errors.append((msg[1], msg[2]))
     elif kind == "done":
         st.events = msg[1]
         st.cache_stats = msg[2]
         st.completed = True
         return True
     return False
+
+
+def _run_pool_once(round_shards: list[tuple[int, list[Task]]],
+                   fn: Callable[[Any], Any], tracing: bool, attempt: int,
+                   deadline: float | None,
+                   policy: ResilPolicy) -> tuple[list[_ShardState], bool]:
+    """Run one round of workers; returns shard states + timed-out flag."""
+    ctx = multiprocessing.get_context("fork")
+    states: list[_ShardState] = []
+    slots: dict[Any, _Slot] = {}  # parent conn -> slot
+    procs = []
+    for shard_id, tasks in round_shards:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        p = ctx.Process(target=_worker_main,
+                        args=(tasks, fn, tracing, child_conn, shard_id,
+                              attempt),
+                        daemon=True)
+        p.start()
+        child_conn.close()  # parent's copy — else EOF never arrives
+        st = _ShardState(shard=shard_id, tasks=tasks)
+        states.append(st)
+        procs.append(p)
+        slots[parent_conn] = _Slot(st, p)
+    timed_out = False
+    try:
+        while slots:
+            if deadline is not None and time.monotonic() >= deadline:
+                timed_out = True
+                for slot in slots.values():
+                    if not slot.state.completed:
+                        slot.state.death_reason = "timed out"
+                break
+            ready = multiprocessing.connection.wait(list(slots),
+                                                    timeout=0.05)
+            now = time.monotonic()
+            for conn in ready:
+                slot = slots[conn]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    # Worker died; everything it reported is already in.
+                    if not slot.state.completed:
+                        slot.state.death_reason = "worker died"
+                    del slots[conn]
+                    conn.close()
+                    continue
+                except Exception:
+                    # Unpicklable bytes: the pipe is rotten, the worker
+                    # unusable — cut it loose and let retry recover.
+                    slot.state.death_reason = "pipe corrupted"
+                    slot.proc.terminate()
+                    del slots[conn]
+                    conn.close()
+                    continue
+                slot.last_progress = now
+                if _handle_message(msg, slot.state):
+                    del slots[conn]
+                    conn.close()
+            if policy.task_timeout is not None:
+                now = time.monotonic()
+                for conn, slot in list(slots.items()):
+                    if now - slot.last_progress > policy.task_timeout:
+                        slot.state.death_reason = "task hung"
+                        slot.proc.terminate()
+                        del slots[conn]
+                        conn.close()
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=5.0)
+        for conn in slots:
+            conn.close()
+    return states, timed_out
+
+
+def _run_pinned(task: Task, fn: Callable[[Any], Any], tracing: bool,
+                timeout_s: float | None) -> _ShardState:
+    """Run one task alone in a dedicated process (attempt=-1: injected
+    pool faults are disarmed; genuine poison still fires)."""
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    p = ctx.Process(target=_worker_main,
+                    args=([task], fn, tracing, child_conn, -1, -1),
+                    daemon=True)
+    p.start()
+    child_conn.close()
+    st = _ShardState(shard=-1, tasks=[task])
+    deadline = None if timeout_s is None else time.monotonic() + timeout_s
+    try:
+        while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                st.death_reason = "task hung"
+                break
+            if not parent_conn.poll(0.05):
+                continue
+            try:
+                msg = parent_conn.recv()
+            except (EOFError, OSError):
+                if not st.completed:
+                    st.death_reason = "worker died"
+                break
+            except Exception:
+                st.death_reason = "pipe corrupted"
+                break
+            if _handle_message(msg, st):
+                break
+    finally:
+        if p.is_alive():
+            p.terminate()
+        p.join(timeout=5.0)
+        parent_conn.close()
+    return st
+
+
+def _run_resilient(plan: ShardPlan, fn: Callable[[Any], Any],
+                   timeout: float | None,
+                   policy: ResilPolicy) -> MergedRun:
+    tracer = obs_runtime.get_tracer()
+    tracing = tracer.enabled
+    deadline = None if timeout is None else time.monotonic() + timeout
+
+    home_shard = {t.index: s for s, shard in enumerate(plan.shards)
+                  for t in shard}
+    pending: dict[int, Task] = {t.index: t for shard in plan.shards
+                                for t in shard}
+    results: dict[int, Any] = {}
+    failures: dict[int, TaskFailure] = {}
+    lost_reason: dict[int, str] = {}
+    death_counts: dict[int, int] = {}
+    quarantine: dict[int, Task] = {}
+    all_states: list[_ShardState] = []
+    retries = worker_deaths = 0
+    timed_out = False
+    rounds = 0
+
+    for attempt in range(policy.max_rounds + 1):
+        if not pending or timed_out:
+            break
+        if attempt == 0:
+            round_shards = [(s, tasks)
+                            for s, tasks in enumerate(plan.shards) if tasks]
+        else:
+            # Deterministic backoff, then replan the survivors
+            # round-robin over fresh workers.
+            backoff = policy.backoff_s[
+                min(attempt - 1, len(policy.backoff_s) - 1)]
+            if backoff > 0:
+                time.sleep(backoff)
+            todo = [pending[i] for i in sorted(pending)]
+            replan = plan_shards([t.payload for t in todo],
+                                 min(plan.workers, len(todo)))
+            # Re-label with the original payload indices.
+            for shard in replan.shards:
+                for slot_task in shard:
+                    slot_task.index = todo[slot_task.index].index
+            round_shards = [(s, tasks)
+                            for s, tasks in enumerate(replan.shards) if tasks]
+            retries += len(todo)
+            tracer.instant("resil.retry", attempt=attempt, tasks=len(todo))
+        rounds += 1
+        states, timed_out = _run_pool_once(round_shards, fn, tracing,
+                                           attempt, deadline, policy)
+        all_states.extend(states)
+        # Fold in deterministic shard order.
+        for st in states:
+            for idx, value in st.results.items():
+                if idx in pending:
+                    results[idx] = value
+                    del pending[idx]
+            for idx, error in st.errors:
+                if idx in pending:
+                    failures[idx] = TaskFailure(idx, home_shard[idx], error)
+                    del pending[idx]
+            missing = [i for i in st.missing() if i in pending]
+            if st.death_reason in _DEAD_REASONS:
+                worker_deaths += 1
+                culprit = missing[0] if missing else None
+                tracer.instant("resil.worker_lost", shard=st.shard,
+                               attempt=attempt, reason=st.death_reason,
+                               lost=len(missing), culprit=culprit)
+                if culprit is not None:
+                    death_counts[culprit] = death_counts.get(culprit, 0) + 1
+                for idx in missing:
+                    lost_reason[idx] = st.death_reason
+                if (culprit is not None
+                        and death_counts[culprit] >= policy.max_task_deaths):
+                    quarantine[culprit] = pending.pop(culprit)
+                    tracer.instant("resil.quarantine", index=culprit,
+                                   deaths=death_counts[culprit])
+            elif st.death_reason == "timed out":
+                for idx in missing:
+                    lost_reason[idx] = "timed out"
+            elif missing:
+                # Completed worker with holes: messages were dropped in
+                # the pipe.  Retry them — no death to attribute.
+                tracer.instant("resil.dropped_messages", shard=st.shard,
+                               attempt=attempt, count=len(missing))
+                for idx in missing:
+                    lost_reason[idx] = "message dropped"
+
+    merged = MergedRun(results=[None] * plan.total, workers=plan.workers,
+                       retries=retries, worker_deaths=worker_deaths,
+                       rounds=rounds)
+    pinned_states: list[_ShardState] = []
+
+    def run_pinned(task: Task, context: str) -> None:
+        st = _run_pinned(task, fn, tracing, policy.task_timeout)
+        pinned_states.append(st)
+        idx = task.index
+        if idx in st.results:
+            results[idx] = st.results[idx]
+        elif st.errors:
+            failures[idx] = TaskFailure(idx, home_shard[idx],
+                                        st.errors[0][1])
+        else:
+            merged.worker_deaths += 1
+            deaths = death_counts.get(idx, 0) + 1
+            failures[idx] = TaskFailure(
+                idx, home_shard[idx],
+                f"poison task ({context}): killed {deaths} worker(s), "
+                f"last: {st.death_reason}")
+
+    if timed_out:
+        # Budget exhausted: no recovery attempts, classic containment.
+        pending.update(quarantine)
+        quarantine.clear()
+        for idx in pending:
+            lost_reason.setdefault(idx, "timed out")
+    else:
+        for idx in sorted(quarantine):
+            run_pinned(quarantine.pop(idx), "quarantined rerun")
+            merged.quarantined.append(idx)
+        if pending and policy.serial_fallback:
+            merged.degraded = True
+            tracer.instant("resil.degraded", tasks=len(pending))
+            for idx in sorted(pending):
+                run_pinned(pending.pop(idx), "serial fallback")
+
+    # Whatever is still pending becomes per-shard failures, grouped by
+    # original shard and loss reason — exactly the NO_RETRY semantics.
+    by_key: dict[tuple[int, str], list[int]] = {}
+    for idx in sorted(pending):
+        key = (home_shard[idx], lost_reason.get(idx, "worker died"))
+        by_key.setdefault(key, []).append(idx)
+    for (shard, reason), indices in sorted(by_key.items()):
+        merged.shard_failures.append(ShardFailure(shard, reason, indices))
+
+    for idx, value in results.items():
+        merged.results[idx] = value
+    merged.task_failures = sorted(failures.values(), key=lambda f: f.index)
+    # Absorb shard telemetry + cache counters in execution order (rounds
+    # then shards, pinned runs last), so the merged stream is
+    # deterministic given deterministic shard streams.
+    for st in all_states + pinned_states:
+        if st.events and tracing:
+            tracer.absorb(st.events, shard=st.shard)
+        if st.cache_stats:
+            for kind, stats in st.cache_stats.items():
+                cache = cache_mod.active_cache(kind)
+                if cache is not None:
+                    cache.stats.merge(stats)
+    return merged

@@ -195,6 +195,7 @@ def run_campaign(seed: int, iters: int,
                 f"0 mismatches")
         return False
 
+    resil_summary = None
     if result.workers <= 1:
         for payload in payloads:
             if consume(_iteration_worker(payload)):
@@ -206,6 +207,9 @@ def run_campaign(seed: int, iters: int,
         for record in merged.results:
             if consume(record):
                 break
+        if (merged.retries or merged.worker_deaths or merged.quarantined
+                or merged.degraded):
+            resil_summary = merged.resil_summary()
 
     result.telemetry = {
         "gen_s": round(gen_ns / 1e9, 6),
@@ -216,6 +220,9 @@ def run_campaign(seed: int, iters: int,
         "findings": len(result.findings),
         "workers": result.workers,
     }
+    if resil_summary is not None:
+        # Recovery accounting only — never part of report() bytes.
+        result.telemetry["resil"] = resil_summary
     tracer = obs_runtime.get_tracer()
     if tracer.enabled:
         tracer.instant("fuzz.campaign", **result.telemetry, seed=seed)

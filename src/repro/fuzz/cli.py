@@ -22,11 +22,11 @@ import argparse
 import os
 import sys
 
+from ..api import Toolchain
 from ..exec import cache as exec_cache
 from ..exec.cli import resolve_cache_dir
 from ..machine.models import MODELS
 from ..obs import runtime as obs_runtime
-from .campaign import run_campaign
 from .gen import GenOptions
 from .oracle import check_program, mismatch_predicate
 from .reduce import ReduceStats, reduce_source
@@ -113,13 +113,12 @@ def main(argv: list[str] | None = None) -> int:
             gen_options.max_statements = args.max_statements
             gen_options.min_statements = min(gen_options.min_statements,
                                              args.max_statements)
-        result = run_campaign(
+        result = Toolchain(workers=args.workers).fuzz(
             seed=args.seed, iters=args.iters, models=args.models,
             adv_interval=args.adv_interval, reduce=args.reduce,
             out_dir=args.out, gen_options=gen_options,
             stop_after=None if args.keep_going else 1,
-            max_instructions=args.max_instructions, log=log,
-            workers=args.workers)
+            max_instructions=args.max_instructions, log=log)
         verdict = ("zero differential mismatches"
                    if result.ok else f"{len(result.findings)} finding(s)")
         log(f"checked {result.iterations} programs "

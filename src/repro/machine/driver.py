@@ -34,6 +34,7 @@ from ..exec import cache as exec_cache
 from ..obs import runtime as obs_runtime
 from ..core.annotate import AnnotateOptions, Annotator
 from ..gc.collector import Collector
+from ..resil import inject as resil_inject
 from .asm import MProgram
 from .codegen import generate_program
 from .ir import IRProgram
@@ -104,6 +105,7 @@ def compile_source(source: str, config: CompileConfig | None = None) -> Compiled
     skips the whole pipeline and unpickles a fresh, unaliased program.
     """
     config = config or CompileConfig()
+    resil_inject.compile_checkpoint()  # chaos seam: mid-pipeline stalls
     cache = exec_cache.active_cache("compile")
     key = cache.key_for(source, config) if cache is not None else None
     if key is not None:
@@ -142,8 +144,9 @@ def _compile(source: str, config: CompileConfig) -> CompiledProgram:
     symbols = typecheck(unit)
     keep_lives = 0
     if config.safe or config.checked:
-        options = config.annotate_options or AnnotateOptions()
-        options.mode = "checked" if config.checked else "safe"
+        # Copy, never mutate: annotate_options is caller-owned.
+        options = replace(config.annotate_options or AnnotateOptions(),
+                          mode="checked" if config.checked else "safe")
         with tracer.span("compile.annotate", mode=options.mode) as sp:
             result = Annotator(unit, options).run()
             keep_lives = result.stats.keep_lives

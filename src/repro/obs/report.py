@@ -55,6 +55,11 @@ def summarize(events: Iterable[TraceEvent | dict[str, Any]],
     gc_stats: dict[str, Any] = {}
     # Per-tier compile/result cache counters (cache.* instants).
     cache: dict[str, dict[str, int]] = {}
+    # Engine recovery counters (resil.* + cache breaker instants).
+    resil = {"retries": 0, "worker_deaths": 0, "quarantined": 0,
+             "dropped_messages": 0, "degraded": False,
+             "breaker_trips": 0, "cache_write_errors": 0}
+    resil_seen = False
 
     for e in evs:
         kind, name = e.get("kind"), e.get("name", "")
@@ -116,6 +121,24 @@ def summarize(events: Iterable[TraceEvent | dict[str, Any]],
             field = {"cache.hit": "hits", "cache.miss": "misses",
                      "cache.evict": "evictions"}[name]
             tier[field] += 1
+        elif kind == "instant" and name.startswith("resil."):
+            resil_seen = True
+            if name == "resil.retry":
+                resil["retries"] += args.get("tasks", 1)
+            elif name == "resil.worker_lost":
+                resil["worker_deaths"] += 1
+            elif name == "resil.quarantine":
+                resil["quarantined"] += 1
+            elif name == "resil.dropped_messages":
+                resil["dropped_messages"] += args.get("count", 1)
+            elif name == "resil.degraded":
+                resil["degraded"] = True
+        elif kind == "instant" and name == "cache.breaker_trip":
+            resil_seen = True
+            resil["breaker_trips"] += 1
+        elif kind == "instant" and name == "cache.write_error":
+            resil_seen = True
+            resil["cache_write_errors"] += 1
 
     avg = gc["pause_ns_total"] // gc["collections"] if gc["collections"] else 0
     gc["pause_ns_avg"] = avg
@@ -129,6 +152,8 @@ def summarize(events: Iterable[TraceEvent | dict[str, Any]],
     }
     if cache:
         summary["cache"] = cache
+    if resil_seen:
+        summary["resil"] = resil
     if profile is not None:
         summary["profile"] = profile.to_dict(top=top)
     return summary
@@ -229,10 +254,25 @@ def render_vm_report(summary: dict[str, Any]) -> str:
             f"{_ms(vm['wall_ns'])} wall")
 
 
+def render_resil_report(summary: dict[str, Any]) -> str:
+    r = summary.get("resil")
+    if not r:
+        return "resilience: no recovery events recorded"
+    return (f"resilience: {r['retries']} retried task(s), "
+            f"{r['worker_deaths']} worker(s) lost, "
+            f"{r['quarantined']} quarantined, "
+            f"{r['dropped_messages']} dropped message(s), "
+            f"{r['breaker_trips']} breaker trip(s), "
+            f"{r['cache_write_errors']} cache write error(s)"
+            + (", DEGRADED (serial fallback)" if r["degraded"] else ""))
+
+
 def render_text(summary: dict[str, Any],
                 profile: VMProfile | None = None, top: int = 10) -> str:
     parts = [render_compile_report(summary), "", render_gc_report(summary),
              "", render_vm_report(summary)]
+    if "resil" in summary:
+        parts += ["", render_resil_report(summary)]
     if profile is not None:
         parts += ["", profile.render_report(top=top)]
     return "\n".join(parts)

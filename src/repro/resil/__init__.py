@@ -1,0 +1,22 @@
+"""Deterministic fault injection and resilience machinery.
+
+`plan` parses seeded fault plans; `inject` is the process-wide seam
+registry the engine/caches/driver consult; `cli` is ``repro chaos``.
+"""
+
+from .inject import (active_plan, install, plan_context,  # noqa: F401
+                     uninstall)
+from .plan import (Fault, FaultPlan, FaultSpecError,  # noqa: F401
+                   parse_fault, parse_faults)
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "FaultSpecError",
+    "parse_fault",
+    "parse_faults",
+    "install",
+    "uninstall",
+    "active_plan",
+    "plan_context",
+]

@@ -1,0 +1,169 @@
+"""Process-wide fault-injection seams.
+
+Mirrors :mod:`repro.obs.runtime`: a module-level registry holds the
+active :class:`~repro.resil.plan.FaultPlan` (usually none), and the
+execution engine, caches, and compile driver call tiny hook functions
+at their fault seams.  With no plan installed every hook is a single
+``is None`` check — the resilience layer costs nothing when it is not
+being exercised (``benchmarks/check_resil_overhead.py`` gates this).
+
+The registry is inherited by forked workers; :func:`worker_started`
+tells the seams which shard/attempt this process is so the plan's pure
+decision functions can target specific workers.  In the parent process
+(``_shard is None``) the worker seams never fire — an injected
+``os._exit`` must only ever kill a child.
+
+Stdlib-only leaf (plus :mod:`repro.resil.plan`): importable from the
+engine and caches without cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import os
+import time
+
+from .plan import FaultPlan
+
+_plan: FaultPlan | None = None
+_shard: int | None = None   # None = parent / inline execution
+_attempt: int = 0
+_tasks_started = 0
+_cache_reads = 0
+_cache_writes = 0
+
+POISON_EXIT = 86
+CRASH_EXIT = 87
+_GARBAGE = b"\xde\xad\xbe\xef not a pickle \x00\x01\x02"
+
+
+def install(plan: FaultPlan) -> None:
+    global _plan, _shard, _attempt, _tasks_started, _cache_reads, _cache_writes
+    _plan = plan
+    _shard = None
+    _attempt = 0
+    _tasks_started = _cache_reads = _cache_writes = 0
+
+
+def uninstall() -> None:
+    global _plan, _shard
+    _plan = None
+    _shard = None
+
+
+def active_plan() -> FaultPlan | None:
+    return _plan
+
+
+@contextlib.contextmanager
+def plan_context(plan: FaultPlan):
+    """Install ``plan`` for the duration of the block."""
+    previous = _plan
+    install(plan)
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            uninstall()
+        else:
+            install(previous)
+
+
+def worker_started(shard: int, attempt: int) -> None:
+    """Called first thing in a forked worker: pins the seams to this
+    worker's identity and resets per-process counters."""
+    global _shard, _attempt, _tasks_started, _cache_reads, _cache_writes
+    if _plan is None:
+        return
+    _shard = shard
+    _attempt = attempt
+    _tasks_started = _cache_reads = _cache_writes = 0
+
+
+# -- engine seams ----------------------------------------------------------
+
+
+def on_task_start(index: int) -> None:
+    """Worker is about to run payload ``index``: poison kills the
+    process outright; slow/hang faults sleep.  No-op in the parent."""
+    global _tasks_started
+    if _plan is None or _shard is None:
+        return
+    _tasks_started += 1
+    if index in _plan.poison_tasks():
+        os._exit(POISON_EXIT)
+    delay = _plan.task_delay(_shard, _attempt, _tasks_started, seam="task")
+    if delay > 0.0:
+        time.sleep(delay)
+
+
+def on_task_reported(sent: int) -> None:
+    """Worker has streamed ``sent`` results so far: an armed
+    worker_crash exits once its quota is reported."""
+    if _plan is None or _shard is None:
+        return
+    quota = _plan.crash_after(_shard, _attempt)
+    if quota is not None and sent >= quota:
+        os._exit(CRASH_EXIT)
+
+
+def wrap_send(conn):
+    """Return the worker's send callable; with pipe faults armed, a
+    wrapper that drops or garbles messages per the plan's seeded
+    per-message decisions."""
+    if _plan is None or _shard is None or not _plan.has_pipe_faults():
+        return conn.send
+    plan, shard, attempt = _plan, _shard, _attempt
+    counter = [0]
+
+    def send(message):
+        counter[0] += 1
+        action = plan.pipe_action(shard, attempt, counter[0])
+        if action == "drop":
+            return
+        if action == "garbage":
+            conn.send_bytes(_GARBAGE)
+            return
+        conn.send(message)
+
+    return send
+
+
+# -- driver seam -----------------------------------------------------------
+
+
+def compile_checkpoint() -> None:
+    """Called from ``machine.driver.compile_source``: a stall injected
+    mid-pipeline rather than between tasks."""
+    if _plan is None or _shard is None:
+        return
+    delay = _plan.task_delay(_shard, _attempt, max(_tasks_started, 1),
+                             seam="compile")
+    if delay > 0.0:
+        time.sleep(delay)
+
+
+# -- cache seams -----------------------------------------------------------
+
+
+def filter_cache_read(kind: str, blob: bytes) -> bytes:
+    """Pass a just-read cache entry through the plan; a corrupt_read
+    hit flips bytes so the checksum verification fails."""
+    global _cache_reads
+    if _plan is None:
+        return blob
+    _cache_reads += 1
+    if _plan.corrupt_read(_cache_reads):
+        return bytes(b ^ 0xFF for b in blob[:64]) + blob[64:]
+    return blob
+
+
+def check_cache_write(kind: str) -> None:
+    """Raise ENOSPC for writes the plan marks as failing."""
+    global _cache_writes
+    if _plan is None:
+        return
+    _cache_writes += 1
+    if _plan.fail_write(_cache_writes):
+        raise OSError(errno.ENOSPC, "injected: no space left on device")

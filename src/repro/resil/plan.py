@@ -1,0 +1,266 @@
+"""Deterministic fault plans — *what* to break, decided up front.
+
+A :class:`FaultPlan` is parsed from a compact spec string and a seed::
+
+    parse_faults("worker_crash@shard2,cache_corrupt@3,pipe_drop@0.1,"
+                 "slow_worker@shard1:5x", seed=0)
+
+Every decision the plan makes is a pure function of (spec, seed,
+context) — no wall clock, no ambient randomness — so a chaos run is
+exactly reproducible from its command line, and the engine's recovery
+from it can be asserted byte-for-byte against the fault-free run.
+
+Grammar (comma-separated items, each ``kind@target[:param]``):
+
+=============================  =============================================
+``worker_crash@shard<S>[:K]``  the round-0 worker of shard S calls
+                               ``os._exit`` after reporting K tasks
+                               (default 1) — death mid-shard
+``poison@task<N>`` /           any worker *starting* payload index N dies
+``poison@<N>``                 immediately, on every attempt including the
+                               quarantine rerun (a genuinely poisonous task)
+``task_hang@shard<S>[:Ts]``    the first task started in shard S (round 0)
+                               sleeps T seconds (default 30) — a hang the
+                               per-task timeout must catch
+``slow_worker@shard<S>:Fx``    every task in shard S (round 0) sleeps
+                               F x 0.01s before running; ``:Ts`` gives a
+                               literal per-task delay in seconds
+``compile_hang@shard<S>[:Ts]`` like task_hang, but fired from the compile
+``compile_slow@shard<S>:Fx``   driver seam — the stall happens mid-pipeline,
+                               not between tasks
+``pipe_drop@<P>``              each worker-to-parent message is dropped with
+                               probability P (seeded per message)
+``pipe_garbage@<P>``           ... or replaced with unpicklable garbage bytes
+``cache_corrupt@<N>[-M]``      the Nth..Mth successful cache-entry reads in a
+                               process hand back corrupted bytes (1-based)
+``cache_enospc@<N>[-M]``       the Nth..Mth cache writes fail with ENOSPC
+=============================  =============================================
+
+Shard targets refer to round-0 shard numbering (payload index i lives on
+shard ``i % workers``); worker-seam faults are armed only for attempt 0,
+so bounded retries converge, while ``poison`` is armed on every attempt
+— that is the shape quarantine exists for.  Pipe faults are armed on
+every pool attempt but never in pinned (quarantine / serial-fallback)
+workers, which are the engine's last resort.  Cache faults count reads/
+writes per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+SLOW_UNIT_S = 0.01  # one "x" of slow_worker / compile_slow
+DEFAULT_HANG_S = 30.0
+
+_KINDS = ("worker_crash", "poison", "task_hang", "slow_worker",
+          "compile_hang", "compile_slow", "pipe_drop", "pipe_garbage",
+          "cache_corrupt", "cache_enospc")
+
+
+class FaultSpecError(ValueError):
+    """A fault spec string could not be parsed."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One parsed fault clause."""
+
+    kind: str
+    shard: int | None = None  # worker/pipe seam target
+    task: int | None = None   # poison target (payload index)
+    after: int = 1            # worker_crash: tasks reported before exit
+    delay_s: float = 0.0      # slow/hang seams
+    prob: float = 0.0         # pipe seams
+    start: int = 0            # cache seams: 1-based inclusive range
+    end: int = 0
+
+    def describe(self) -> str:
+        if self.kind == "worker_crash":
+            return f"worker_crash@shard{self.shard}:{self.after}"
+        if self.kind == "poison":
+            return f"poison@task{self.task}"
+        if self.kind in ("task_hang", "slow_worker",
+                         "compile_hang", "compile_slow"):
+            return f"{self.kind}@shard{self.shard}:{self.delay_s}s"
+        if self.kind in ("pipe_drop", "pipe_garbage"):
+            return f"{self.kind}@{self.prob}"
+        return f"{self.kind}@{self.start}-{self.end}"
+
+    def to_json(self) -> dict:
+        d = {"kind": self.kind}
+        for name in ("shard", "task"):
+            if getattr(self, name) is not None:
+                d[name] = getattr(self, name)
+        if self.kind == "worker_crash":
+            d["after"] = self.after
+        if self.delay_s:
+            d["delay_s"] = self.delay_s
+        if self.prob:
+            d["prob"] = self.prob
+        if self.start:
+            d["reads" if self.kind == "cache_corrupt" else "writes"] = \
+                [self.start, self.end]
+        return d
+
+
+def _hash01(seed: int, *parts) -> float:
+    """Deterministic uniform [0, 1) from (seed, context)."""
+    blob = ":".join(str(p) for p in (seed,) + parts).encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") / 2 ** 64
+
+
+def _parse_shard(text: str, item: str) -> int:
+    if not text.startswith("shard"):
+        raise FaultSpecError(f"{item!r}: expected shard<N> target")
+    try:
+        return int(text[5:])
+    except ValueError:
+        raise FaultSpecError(f"{item!r}: bad shard number") from None
+
+
+def _parse_delay(text: str, item: str) -> float:
+    """``5x`` (units of SLOW_UNIT_S) or ``0.25s`` / bare seconds."""
+    try:
+        if text.endswith("x"):
+            return float(text[:-1]) * SLOW_UNIT_S
+        if text.endswith("s"):
+            return float(text[:-1])
+        return float(text)
+    except ValueError:
+        raise FaultSpecError(f"{item!r}: bad delay {text!r}") from None
+
+
+def _parse_range(text: str, item: str) -> tuple[int, int]:
+    lo, _, hi = text.partition("-")
+    try:
+        start = int(lo)
+        end = int(hi) if hi else start
+    except ValueError:
+        raise FaultSpecError(f"{item!r}: bad occurrence range") from None
+    if start < 1 or end < start:
+        raise FaultSpecError(f"{item!r}: range must be 1-based and ordered")
+    return start, end
+
+
+def parse_fault(item: str) -> Fault:
+    item = item.strip()
+    kind, sep, rest = item.partition("@")
+    if not sep or kind not in _KINDS:
+        raise FaultSpecError(
+            f"{item!r}: expected kind@target with kind in {_KINDS}")
+    if kind == "worker_crash":
+        target, _, after = rest.partition(":")
+        return Fault(kind, shard=_parse_shard(target, item),
+                     after=int(after) if after else 1)
+    if kind == "poison":
+        target = rest[4:] if rest.startswith("task") else rest
+        try:
+            return Fault(kind, task=int(target))
+        except ValueError:
+            raise FaultSpecError(f"{item!r}: bad task index") from None
+    if kind in ("task_hang", "compile_hang"):
+        target, _, delay = rest.partition(":")
+        return Fault(kind, shard=_parse_shard(target, item),
+                     delay_s=_parse_delay(delay, item) if delay
+                     else DEFAULT_HANG_S)
+    if kind in ("slow_worker", "compile_slow"):
+        target, sep2, delay = rest.partition(":")
+        if not sep2:
+            raise FaultSpecError(f"{item!r}: {kind} needs a :<F>x factor "
+                                 f"or :<T>s delay")
+        return Fault(kind, shard=_parse_shard(target, item),
+                     delay_s=_parse_delay(delay, item))
+    if kind in ("pipe_drop", "pipe_garbage"):
+        try:
+            prob = float(rest)
+        except ValueError:
+            raise FaultSpecError(f"{item!r}: bad probability") from None
+        if not 0.0 <= prob <= 1.0:
+            raise FaultSpecError(f"{item!r}: probability outside [0, 1]")
+        return Fault(kind, prob=prob)
+    start, end = _parse_range(rest, item)  # cache_corrupt / cache_enospc
+    return Fault(kind, start=start, end=end)
+
+
+@dataclass
+class FaultPlan:
+    """A seeded set of faults plus the pure decision functions the
+    injection seams consult (see :mod:`repro.resil.inject`)."""
+
+    seed: int = 0
+    faults: list[Fault] = field(default_factory=list)
+    spec: str = ""
+
+    # -- worker seams ------------------------------------------------------
+
+    def crash_after(self, shard: int, attempt: int) -> int | None:
+        """Tasks the shard's worker may report before exiting (None:
+        no crash armed for this worker)."""
+        if attempt != 0:
+            return None
+        hits = [f.after for f in self.faults
+                if f.kind == "worker_crash" and f.shard == shard]
+        return min(hits) if hits else None
+
+    def poison_tasks(self) -> frozenset[int]:
+        return frozenset(f.task for f in self.faults if f.kind == "poison")
+
+    def task_delay(self, shard: int, attempt: int, started: int,
+                   seam: str = "task") -> float:
+        """Injected sleep before the ``started``-th task (1-based) of
+        this worker; hangs fire only on the first."""
+        if attempt != 0:
+            return 0.0
+        slow_kind = "slow_worker" if seam == "task" else "compile_slow"
+        hang_kind = "task_hang" if seam == "task" else "compile_hang"
+        delay = sum(f.delay_s for f in self.faults
+                    if f.kind == slow_kind and f.shard == shard)
+        if started == 1:
+            delay += sum(f.delay_s for f in self.faults
+                         if f.kind == hang_kind and f.shard == shard)
+        return delay
+
+    # -- pipe seam ---------------------------------------------------------
+
+    def has_pipe_faults(self) -> bool:
+        return any(f.kind in ("pipe_drop", "pipe_garbage")
+                   for f in self.faults)
+
+    def pipe_action(self, shard: int, attempt: int, n: int) -> str | None:
+        """Fate of the worker's ``n``-th message: None | 'drop' |
+        'garbage'.  Seeded per (shard, attempt, n) — deterministic."""
+        if attempt < 0:  # pinned (quarantine / fallback) workers are spared
+            return None
+        for f in self.faults:
+            if f.kind in ("pipe_drop", "pipe_garbage") and f.prob > 0.0:
+                if _hash01(self.seed, f.kind, shard, attempt, n) < f.prob:
+                    return "drop" if f.kind == "pipe_drop" else "garbage"
+        return None
+
+    # -- cache seams -------------------------------------------------------
+
+    def corrupt_read(self, n: int) -> bool:
+        return any(f.kind == "cache_corrupt" and f.start <= n <= f.end
+                   for f in self.faults)
+
+    def fail_write(self, n: int) -> bool:
+        return any(f.kind == "cache_enospc" and f.start <= n <= f.end
+                   for f in self.faults)
+
+    # -- reporting ---------------------------------------------------------
+
+    def describe(self) -> str:
+        return ",".join(f.describe() for f in self.faults)
+
+    def to_json(self) -> dict:
+        return {"seed": self.seed, "spec": self.spec,
+                "faults": [f.to_json() for f in self.faults]}
+
+
+def parse_faults(spec: str, seed: int = 0) -> FaultPlan:
+    """Parse a comma-separated fault spec into a seeded plan."""
+    faults = [parse_fault(item) for item in spec.split(",") if item.strip()]
+    if not faults:
+        raise FaultSpecError(f"empty fault spec {spec!r}")
+    return FaultPlan(seed=seed, faults=faults, spec=spec)

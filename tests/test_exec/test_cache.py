@@ -243,7 +243,8 @@ class TestStats:
         stats.merge({"hits": 1, "misses": 1, "stores": 0,
                      "corrupt_evicted": 0, "cleared": 3})
         assert stats.to_dict() == {"hits": 6, "misses": 3, "stores": 2,
-                                   "corrupt_evicted": 1, "cleared": 3}
+                                   "corrupt_evicted": 1, "cleared": 3,
+                                   "breaker_trips": 0, "write_errors": 0}
 
 
 class TestOpenCaches:

@@ -8,7 +8,7 @@ import pytest
 
 from repro.exec import cache as exec_cache
 from repro.exec.engine import (
-    EngineError, plan_shards, run_sharded,
+    NO_RETRY, EngineError, plan_shards, run_sharded,
 )
 from repro.machine.driver import CompileConfig, compile_source
 from repro.obs import runtime as obs_runtime
@@ -113,11 +113,31 @@ class TestContainment:
         with pytest.raises(EngineError, match="odd payload 1"):
             merged.raise_on_failure()
 
-    def test_worker_death_poisons_only_its_shard(self):
-        # Payload i has index i; with 2 workers, shard 1 owns the odd
-        # indices.  Payload 3 kills its worker after it reported index 1,
-        # so indices 3/5/7 are lost — shard 0's results must all stand.
+    def test_worker_death_quarantines_the_culprit_task(self):
+        # Payload 3 kills every worker that runs it.  The engine retries
+        # the lost tasks, attributes the deaths to index 3, quarantines
+        # it after the second kill, and contains the pinned rerun's death
+        # as a task failure — the innocent co-shard tasks all recover.
         merged = run_sharded(list(range(8)), die_on_three, workers=2)
+        assert merged.results[0::2] == [0, 2, 4, 6]
+        assert merged.results[1] == 1
+        assert merged.results[3] is None
+        assert merged.results[5] == 5 and merged.results[7] == 7
+        assert not merged.shard_failures
+        assert [f.index for f in merged.task_failures] == [3]
+        failure = merged.task_failures[0]
+        assert failure.shard == 1  # home shard, for deterministic reports
+        assert "poison task" in failure.error
+        assert merged.worker_deaths >= 2
+        assert merged.quarantined == [3]
+        with pytest.raises(EngineError, match="poison task"):
+            merged.raise_on_failure()
+
+    def test_no_retry_policy_keeps_legacy_shard_loss(self):
+        # NO_RETRY restores the pre-resilience contract: a worker death
+        # loses the whole remainder of its shard.
+        merged = run_sharded(list(range(8)), die_on_three, workers=2,
+                             policy=NO_RETRY)
         assert merged.results[0::2] == [0, 2, 4, 6]
         assert merged.results[1] == 1
         assert merged.results[3] is None

@@ -1,0 +1,40 @@
+"""``repro chaos`` end to end: byte-identity gate, JSON envelope, and
+spec-error handling."""
+
+import json
+
+from repro.cli import main as repro_main
+
+
+class TestChaosCommand:
+    def test_bench_suite_is_identical_under_faults(self, tiny_workloads,
+                                                   capsys):
+        rc = repro_main(["chaos", "--seed", "0", "--workers", "2",
+                         "--suite", "bench", "--workloads", "tiny",
+                         "--task-timeout", "10"])
+        out = capsys.readouterr()
+        assert rc == 0
+        assert "identical" in out.out
+        assert "chaos: OK" in out.err
+
+    def test_json_envelope(self, tiny_workloads, capsys):
+        rc = repro_main(["chaos", "--seed", "0", "--workers", "2",
+                         "--suite", "bench", "--workloads", "tiny",
+                         "--task-timeout", "10", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        report = json.loads(out)
+        assert report["schema"] == "repro-chaos/1"
+        assert report["ok"] is True
+        assert report["suites"]["bench"]["identical"] is True
+        # The default plan fired: recovery was actually exercised.
+        assert report["resil"]["worker_deaths"] >= 1
+        corrupted = sum(t["corrupt_evicted"] for t in report["cache"].values())
+        assert corrupted >= 1
+        assert [f["kind"] for f in report["faults"]["faults"]] == [
+            "worker_crash", "cache_corrupt", "pipe_drop", "slow_worker"]
+
+    def test_bad_fault_spec_is_a_usage_error(self, capsys):
+        rc = repro_main(["chaos", "--faults", "bogus@zzz"])
+        assert rc == 2
+        assert "expected kind@target" in capsys.readouterr().err

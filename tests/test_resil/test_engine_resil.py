@@ -1,0 +1,215 @@
+"""Engine recovery under injected faults: retries, quarantine, pipe
+loss, hangs, and the serial-fallback last resort.
+
+Every test asserts the headline property first — the merged results are
+exactly what the fault-free run produces — and only then inspects the
+recovery accounting.
+"""
+
+import pytest
+
+from repro.exec.engine import (
+    NO_RETRY, EngineError, ResilPolicy, default_policy, policy_context,
+    run_sharded, set_default_policy,
+)
+from repro.obs import runtime as obs_runtime
+from repro.resil import inject, parse_faults
+
+WORKERS = 2
+PAYLOADS = list(range(8))
+CLEAN = [x * x for x in PAYLOADS]
+
+
+# -- module-level worker functions (must be picklable by name) -------------
+
+def square(x):
+    return x * x
+
+
+class TestCrashRecovery:
+    def test_worker_crash_is_retried_to_full_results(self):
+        plan = parse_faults("worker_crash@shard1", seed=0)
+        with inject.plan_context(plan):
+            merged = run_sharded(PAYLOADS, square, workers=WORKERS)
+        assert merged.ok
+        assert merged.results == CLEAN
+        assert merged.worker_deaths == 1
+        assert merged.retries >= 1
+        assert merged.rounds == 2
+        assert not merged.degraded
+
+    def test_crash_after_quota_loses_only_the_tail(self):
+        # The shard-1 worker reports 3 tasks before dying; only the
+        # remainder needs the retry round.
+        plan = parse_faults("worker_crash@shard1:3", seed=0)
+        with inject.plan_context(plan):
+            merged = run_sharded(PAYLOADS, square, workers=WORKERS)
+        assert merged.results == CLEAN
+        assert merged.retries == 1  # exactly one lost task (index 7)
+
+    def test_results_byte_identical_to_fault_free_run(self):
+        reference = run_sharded(PAYLOADS, square, workers=WORKERS)
+        plan = parse_faults("worker_crash@shard0,slow_worker@shard1:1x",
+                            seed=0)
+        with inject.plan_context(plan):
+            faulted = run_sharded(PAYLOADS, square, workers=WORKERS)
+        assert faulted.results == reference.results
+        assert repr(faulted.results) == repr(reference.results)
+
+    def test_no_retry_policy_turns_crash_into_shard_loss(self):
+        plan = parse_faults("worker_crash@shard1", seed=0)
+        with inject.plan_context(plan):
+            merged = run_sharded(PAYLOADS, square, workers=WORKERS,
+                                 policy=NO_RETRY)
+        assert not merged.ok
+        assert [f.reason for f in merged.shard_failures] == ["worker died"]
+        with pytest.raises(EngineError, match="worker died"):
+            merged.raise_on_failure()
+
+
+class TestPoisonQuarantine:
+    def test_poison_task_quarantined_after_two_pool_deaths(self):
+        plan = parse_faults("poison@task4", seed=0)
+        with inject.plan_context(plan):
+            merged = run_sharded(PAYLOADS, square, workers=WORKERS)
+        # Every innocent task recovered; only the poison task failed.
+        assert merged.results == [x * x if x != 4 else None for x in PAYLOADS]
+        assert merged.quarantined == [4]
+        assert [f.index for f in merged.task_failures] == [4]
+        failure = merged.task_failures[0]
+        assert failure.shard == 4 % WORKERS  # home shard
+        assert "poison task" in failure.error
+        # Two pool deaths trigger quarantine; the contained pinned rerun
+        # is the third.
+        assert merged.worker_deaths == 3
+        assert not merged.shard_failures
+
+    def test_quarantine_emits_telemetry_instant(self):
+        plan = parse_faults("poison@task4", seed=0)
+        obs_runtime.enable_tracing()
+        try:
+            with inject.plan_context(plan):
+                run_sharded(PAYLOADS, square, workers=WORKERS)
+            names = [e.name for e in obs_runtime.get_tracer().events]
+        finally:
+            obs_runtime.reset()
+        assert "resil.quarantine" in names
+        assert "resil.retry" in names
+        assert "resil.worker_lost" in names
+
+    def test_obs_summary_gains_resil_section_only_under_faults(self):
+        from repro.obs.report import render_text, summarize
+        plan = parse_faults("worker_crash@shard1", seed=0)
+        obs_runtime.enable_tracing()
+        try:
+            with inject.plan_context(plan):
+                run_sharded(PAYLOADS, square, workers=WORKERS)
+            events = [e.to_json()
+                      for e in obs_runtime.get_tracer().sorted_events()]
+        finally:
+            obs_runtime.reset()
+        summary = summarize(events)
+        assert summary["resil"]["worker_deaths"] == 1
+        assert summary["resil"]["retries"] >= 1
+        assert "resilience:" in render_text(summary)
+        # Fault-free traces keep their exact pre-resilience shape.
+        assert "resil" not in summarize([])
+
+
+class TestPipeFaults:
+    def test_total_pipe_drop_falls_back_to_serial(self):
+        # Every pool message is dropped: retries cannot help, so the
+        # engine must degrade to pinned serial workers — which the plan
+        # spares — and still produce full results.
+        plan = parse_faults("pipe_drop@1.0", seed=0)
+        with inject.plan_context(plan):
+            merged = run_sharded(PAYLOADS, square, workers=WORKERS)
+        assert merged.ok
+        assert merged.results == CLEAN
+        assert merged.degraded
+
+    def test_partial_pipe_drop_recovers(self):
+        plan = parse_faults("pipe_drop@0.4", seed=3)
+        with inject.plan_context(plan):
+            merged = run_sharded(PAYLOADS, square, workers=WORKERS)
+        assert merged.ok
+        assert merged.results == CLEAN
+
+    def test_pipe_garbage_recovers(self):
+        plan = parse_faults("pipe_garbage@0.5", seed=1)
+        with inject.plan_context(plan):
+            merged = run_sharded(PAYLOADS, square, workers=WORKERS)
+        assert merged.ok
+        assert merged.results == CLEAN
+        assert merged.worker_deaths >= 1  # a garbled pipe kills its worker
+
+
+class TestHangs:
+    def test_task_hang_caught_by_task_timeout(self):
+        plan = parse_faults("task_hang@shard0:30s", seed=0)
+        with inject.plan_context(plan), policy_context(task_timeout=0.5):
+            merged = run_sharded(PAYLOADS, square, workers=WORKERS)
+        assert merged.ok
+        assert merged.results == CLEAN
+        assert merged.worker_deaths >= 1
+
+    def test_run_timeout_still_hard_stops(self):
+        # The run-level deadline keeps its classic contract: no retries,
+        # unfinished shards report "timed out".
+        plan = parse_faults("task_hang@shard0:30s", seed=0)
+        with inject.plan_context(plan):
+            merged = run_sharded(PAYLOADS, square, workers=WORKERS,
+                                 timeout=1.0)
+        assert not merged.ok
+        assert any(f.reason == "timed out" for f in merged.shard_failures)
+
+
+class TestPolicy:
+    def test_policy_context_restores_default(self):
+        before = default_policy()
+        with policy_context(task_timeout=0.25, max_rounds=5) as p:
+            assert p.task_timeout == 0.25 and p.max_rounds == 5
+            assert default_policy() is p
+        assert default_policy() == before
+
+    def test_set_default_policy_roundtrip(self):
+        before = default_policy()
+        try:
+            set_default_policy(NO_RETRY)
+            assert default_policy() == NO_RETRY
+        finally:
+            set_default_policy(before)
+
+    def test_policy_is_frozen(self):
+        with pytest.raises(Exception):
+            ResilPolicy().max_rounds = 9
+
+    def test_resil_summary_shape(self):
+        plan = parse_faults("worker_crash@shard1", seed=0)
+        with inject.plan_context(plan):
+            merged = run_sharded(PAYLOADS, square, workers=WORKERS)
+        summary = merged.resil_summary()
+        assert summary == {"retries": merged.retries,
+                           "worker_deaths": merged.worker_deaths,
+                           "quarantined": merged.quarantined,
+                           "degraded": merged.degraded,
+                           "rounds": merged.rounds}
+
+
+class TestNoPlanIsInert:
+    def test_hooks_are_noops_without_a_plan(self):
+        assert inject.active_plan() is None
+        inject.on_task_start(0)
+        inject.on_task_reported(5)
+        inject.compile_checkpoint()
+        assert inject.filter_cache_read("compile", b"blob") == b"blob"
+        inject.check_cache_write("compile")
+
+    def test_parent_process_never_crashes(self):
+        # Worker seams are pinned to forked children; in the parent
+        # (shard unset) an armed crash must not fire.
+        plan = parse_faults("worker_crash@shard0,poison@task0", seed=0)
+        with inject.plan_context(plan):
+            inject.on_task_start(0)   # would os._exit in a worker
+            inject.on_task_reported(99)
+        assert True  # still alive

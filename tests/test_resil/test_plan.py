@@ -1,0 +1,146 @@
+"""Fault-plan grammar: parsing, decision purity, and spec errors."""
+
+import pytest
+
+from repro.resil.plan import (
+    DEFAULT_HANG_S, SLOW_UNIT_S, Fault, FaultSpecError, parse_fault,
+    parse_faults,
+)
+
+
+class TestGrammar:
+    def test_worker_crash_default_after(self):
+        f = parse_fault("worker_crash@shard2")
+        assert f == Fault("worker_crash", shard=2, after=1)
+
+    def test_worker_crash_explicit_after(self):
+        f = parse_fault("worker_crash@shard0:3")
+        assert (f.shard, f.after) == (0, 3)
+
+    def test_poison_with_and_without_task_prefix(self):
+        assert parse_fault("poison@task7").task == 7
+        assert parse_fault("poison@7").task == 7
+
+    def test_task_hang_default_delay(self):
+        f = parse_fault("task_hang@shard1")
+        assert f.delay_s == DEFAULT_HANG_S
+
+    def test_slow_worker_factor_units(self):
+        f = parse_fault("slow_worker@shard1:5x")
+        assert f.delay_s == pytest.approx(5 * SLOW_UNIT_S)
+
+    def test_slow_worker_literal_seconds(self):
+        assert parse_fault("slow_worker@shard0:0.25s").delay_s == 0.25
+
+    def test_compile_seam_kinds(self):
+        assert parse_fault("compile_hang@shard0:2s").kind == "compile_hang"
+        assert parse_fault("compile_slow@shard0:2x").kind == "compile_slow"
+
+    def test_pipe_probabilities(self):
+        assert parse_fault("pipe_drop@0.1").prob == 0.1
+        assert parse_fault("pipe_garbage@1.0").prob == 1.0
+
+    def test_cache_ranges(self):
+        f = parse_fault("cache_corrupt@3")
+        assert (f.start, f.end) == (3, 3)
+        f = parse_fault("cache_enospc@2-5")
+        assert (f.start, f.end) == (2, 5)
+
+    def test_issue_example_spec_parses(self):
+        plan = parse_faults("worker_crash@shard2,cache_corrupt@3,"
+                            "pipe_drop@0.1,slow_worker@shard1:5x", seed=0)
+        assert [f.kind for f in plan.faults] == [
+            "worker_crash", "cache_corrupt", "pipe_drop", "slow_worker"]
+
+    def test_describe_round_trips_through_parser(self):
+        spec = ("worker_crash@shard2:1,poison@task4,task_hang@shard0:30.0s,"
+                "pipe_drop@0.1,cache_corrupt@2-4")
+        plan = parse_faults(spec, seed=3)
+        again = parse_faults(plan.describe(), seed=3)
+        assert again.faults == plan.faults
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "bogus@shard1",            # unknown kind
+        "worker_crash",            # no @target
+        "worker_crash@2",          # missing shard prefix
+        "worker_crash@shardx",     # bad shard number
+        "poison@taskx",            # bad task index
+        "slow_worker@shard1",      # missing factor
+        "slow_worker@shard1:fast", # bad delay
+        "pipe_drop@1.5",           # probability outside [0, 1]
+        "pipe_drop@many",          # not a float
+        "cache_corrupt@0",         # range must be 1-based
+        "cache_corrupt@5-2",       # inverted range
+        "",                        # empty spec
+    ])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_faults(bad, seed=0)
+
+    def test_fault_spec_error_is_value_error(self):
+        assert issubclass(FaultSpecError, ValueError)
+
+
+class TestDecisions:
+    def test_crash_armed_only_at_attempt_zero(self):
+        plan = parse_faults("worker_crash@shard1:2", seed=0)
+        assert plan.crash_after(1, 0) == 2
+        assert plan.crash_after(1, 1) is None
+        assert plan.crash_after(0, 0) is None
+
+    def test_crash_takes_min_over_matching_clauses(self):
+        plan = parse_faults("worker_crash@shard0:5,worker_crash@shard0:2",
+                            seed=0)
+        assert plan.crash_after(0, 0) == 2
+
+    def test_poison_armed_on_every_attempt(self):
+        plan = parse_faults("poison@task4", seed=0)
+        assert plan.poison_tasks() == frozenset({4})
+
+    def test_slow_applies_to_every_task_hang_only_first(self):
+        plan = parse_faults("slow_worker@shard0:2x,task_hang@shard0:1s",
+                            seed=0)
+        first = plan.task_delay(0, 0, started=1)
+        later = plan.task_delay(0, 0, started=2)
+        assert first == pytest.approx(2 * SLOW_UNIT_S + 1.0)
+        assert later == pytest.approx(2 * SLOW_UNIT_S)
+        assert plan.task_delay(0, 1, started=1) == 0.0  # retries run clean
+
+    def test_compile_seam_is_separate(self):
+        plan = parse_faults("compile_slow@shard0:3x", seed=0)
+        assert plan.task_delay(0, 0, 1, seam="task") == 0.0
+        assert plan.task_delay(0, 0, 1, seam="compile") == \
+            pytest.approx(3 * SLOW_UNIT_S)
+
+    def test_pipe_action_is_deterministic_in_context(self):
+        plan = parse_faults("pipe_drop@0.5", seed=7)
+        fates = [plan.pipe_action(0, 0, n) for n in range(32)]
+        assert fates == [plan.pipe_action(0, 0, n) for n in range(32)]
+        assert "drop" in fates and None in fates  # p=0.5 hits both ways
+
+    def test_pipe_action_varies_with_seed(self):
+        a = parse_faults("pipe_drop@0.5", seed=0)
+        b = parse_faults("pipe_drop@0.5", seed=1)
+        assert [a.pipe_action(0, 0, n) for n in range(64)] != \
+               [b.pipe_action(0, 0, n) for n in range(64)]
+
+    def test_pinned_workers_are_spared_pipe_faults(self):
+        plan = parse_faults("pipe_drop@1.0", seed=0)
+        assert plan.pipe_action(0, 0, 1) == "drop"
+        assert plan.pipe_action(-1, -1, 1) is None
+
+    def test_cache_read_write_ranges_are_one_based(self):
+        plan = parse_faults("cache_corrupt@2-3,cache_enospc@1", seed=0)
+        assert [plan.corrupt_read(n) for n in (1, 2, 3, 4)] == \
+            [False, True, True, False]
+        assert plan.fail_write(1) and not plan.fail_write(2)
+
+    def test_to_json_shape(self):
+        plan = parse_faults("worker_crash@shard2,cache_corrupt@3", seed=5)
+        j = plan.to_json()
+        assert j["seed"] == 5
+        assert j["faults"][0] == {"kind": "worker_crash", "shard": 2,
+                                  "after": 1}
+        assert j["faults"][1] == {"kind": "cache_corrupt", "reads": [3, 3]}
