@@ -17,11 +17,13 @@ from ..exec.engine import run_sharded
 from ..machine.driver import CompileConfig, compile_source
 from ..machine.models import MODELS, MachineModel
 from ..machine.vm import VM
+from ..machine.superinst import SuperinstPlan
 from ..obs import runtime as obs_runtime
 from ..obs.report import summarize
 from ..postproc import postprocess
 from ..postproc.peephole import PeepholeStats
-from ..workloads import WORKLOADS, load_workload
+from ..postproc.sink import SinkStats, sink_program
+from ..workloads import AUX_WORKLOADS, WORKLOADS, load_workload
 
 CONFIG_ORDER = ("O", "O_safe", "g", "g_checked")
 
@@ -43,6 +45,13 @@ class CellResult:
     # session tracer was enabled; None otherwise (telemetry is opt-in
     # and never perturbs the measured cycle counts).
     telemetry: dict | None = None
+    # PR 6 raw-speed knobs: digest of the superinstruction plan the VM
+    # ran under (None = unfused) and the allocation-sinking rewrite
+    # stats (None = pass not applied).  Both are opt-in and observable-
+    # count-neutral for pgo / count-changing for sink, so they salt the
+    # result-cache key whenever set.
+    pgo: str | None = None
+    sink_stats: SinkStats | None = None
 
 
 @dataclass
@@ -71,26 +80,38 @@ class WorkloadRow:
 
 
 class Harness:
-    def __init__(self, model_key: str = "ss10"):
+    def __init__(self, model_key: str = "ss10",
+                 pgo: SuperinstPlan | None = None, sink: bool = False):
         self.model_key = model_key
         self.model: MachineModel = MODELS[model_key]
+        # Raw-speed knobs, applied to every cell this harness runs: a
+        # superinstruction plan for the VM (observable counts stay
+        # bit-identical) and the allocation-sinking postproc pass
+        # (count-changing, like `postprocessed`).
+        self.pgo = pgo
+        self.sink = sink
         self._cache: dict[tuple, CellResult] = {}
+
+    @property
+    def _pgo_digest(self) -> str | None:
+        return self.pgo.digest() if self.pgo else None
 
     def run_cell(self, workload: str, config_name: str,
                  postprocessed: bool = False) -> CellResult:
         key = (workload, config_name, postprocessed)
         if key in self._cache:
             return self._cache[key]
-        spec = WORKLOADS[workload]
+        spec = WORKLOADS.get(workload) or AUX_WORKLOADS[workload]
         source = load_workload(workload)
         config = CompileConfig.named(config_name, self.model)
         # Content-addressed cell memoization: the VM is deterministic,
         # so an executed cell is a pure function of (source, config,
-        # stdin, postprocessed) and can be replayed from disk
-        # bit-identically.
+        # stdin, postprocessed, pgo plan, sink) and can be replayed
+        # from disk bit-identically.
         rcache = exec_cache.active_cache("result")
         rkey = (rcache.key_for(source, config, stdin=spec.stdin,
-                               postprocessed=postprocessed)
+                               postprocessed=postprocessed,
+                               pgo=self._pgo_digest, sink=self.sink)
                 if rcache is not None else None)
         if rkey is not None:
             hit = rcache.get(rkey)
@@ -103,7 +124,8 @@ class Harness:
                          model=self.model_key, postprocessed=postprocessed):
             compiled = compile_source(source, config)
             stats = postprocess(compiled.asm) if postprocessed else None
-            vm = VM(compiled.asm, self.model)
+            sink_stats = sink_program(compiled.asm) if self.sink else None
+            vm = VM(compiled.asm, self.model, superinst=self.pgo)
             vm.stdin = spec.stdin
             run = vm.run()
         telemetry = (summarize(tracer.events[ev_start:])
@@ -114,7 +136,7 @@ class Harness:
             code_size=compiled.asm.code_size(), exit_code=run.exit_code,
             collections=run.collections, output=run.output,
             postprocessed=postprocessed, peephole_stats=stats,
-            telemetry=telemetry)
+            telemetry=telemetry, pgo=self._pgo_digest, sink_stats=sink_stats)
         self._cache[key] = cell
         if rkey is not None:
             rcache.put(rkey, cell)
@@ -140,12 +162,13 @@ class Harness:
         names = tuple(workloads or tuple(WORKLOADS))
         if workers <= 1:
             return {name: self.run_workload(name, configs) for name in names}
-        payloads = [(self.model_key, name, config, False)
+        payloads = [(self.model_key, name, config, False,
+                     self.pgo, self.sink)
                     for name in names for config in configs]
         merged = run_sharded(payloads, _cell_worker, workers=workers,
                              label="bench").raise_on_failure()
         out: dict[str, WorkloadRow] = {}
-        for (_, name, config, _), cell in zip(payloads, merged.results):
+        for (_, name, config, *_), cell in zip(payloads, merged.results):
             row = out.setdefault(name, WorkloadRow(name, self.model_key))
             row.cells[config] = cell
             self._cache[(name, config, False)] = cell
@@ -175,7 +198,8 @@ class Harness:
             return {name: self.run_postproc_row(name) for name in names}
         variants = (("O", False), ("O_safe", False), ("O_safe_pp", True))
         payloads = [(self.model_key, name,
-                     "O_safe" if post else config, post)
+                     "O_safe" if post else config, post,
+                     self.pgo, self.sink)
                     for name in names for config, post in variants]
         merged = run_sharded(payloads, _cell_worker, workers=workers,
                              label="bench").raise_on_failure()
@@ -194,6 +218,11 @@ class Harness:
 def _cell_worker(payload: tuple) -> CellResult:
     """Engine task: one benchmark cell.  A fresh per-process Harness is
     correct because cells are independent; cross-process reuse comes
-    from the content-addressed caches, not in-memory state."""
-    model_key, workload, config_name, postprocessed = payload
-    return Harness(model_key).run_cell(workload, config_name, postprocessed)
+    from the content-addressed caches, not in-memory state.  Payloads
+    are 4-tuples from older callers or 6-tuples carrying the pgo plan
+    and sink flag; unpack both shapes."""
+    model_key, workload, config_name, postprocessed = payload[:4]
+    pgo = payload[4] if len(payload) > 4 else None
+    sink = bool(payload[5]) if len(payload) > 5 else False
+    return Harness(model_key, pgo=pgo, sink=sink).run_cell(
+        workload, config_name, postprocessed)

@@ -7,15 +7,20 @@
         Source-safety diagnostics only.
 
     python -m repro cc [--config O0|O|O_safe|g|g_checked] [--model ss2|ss10|p90]
-                       [--postproc] [--gc-interval N] [--stdin FILE]
-                       [--dump-asm] file.c
+                       [--postproc] [--sink] [--pgo FILE] [--gc-interval N]
+                       [--stdin FILE] [--dump-asm] file.c
         Compile and execute on the simulated machine; print the program
-        output and a run summary.
+        output and a run summary.  ``--sink`` runs the escape-analysis
+        allocation-sinking pass; ``--pgo`` fuses hot blocks from a
+        repro-vmprof-pgo/1 profile into superinstructions.
 
     python -m repro bench [--model ss10] [--workloads w1,w2,...]
                           [--workers N] [--cache-dir DIR]
+                          [--pgo FILE] [--sink]
         Print the slowdown table for one machine model; ``--workers``
         shards the cells across processes (byte-identical table).
+        ``--pgo`` replays a persisted profile deterministically
+        (observable counts stay bit-identical to the unfused run).
 
     python -m repro cache stats|clear|verify [--cache-dir DIR]
         Inspect / wipe / checksum-verify the content-addressed caches.
@@ -108,11 +113,18 @@ def cmd_check(args: argparse.Namespace) -> int:
 def cmd_cc(args: argparse.Namespace) -> int:
     source = _read(args.file)
     tc = Toolchain(config=args.config, model=args.model,
-                   gc_interval=args.gc_interval, poison=args.poison)
+                   gc_interval=args.gc_interval, poison=args.poison,
+                   pgo=args.pgo)
     compiled = tc.compile(source)
     if args.postproc:
         stats = postprocess(compiled.asm)
         print(f"! postprocessor: {stats}", file=sys.stderr)
+    if args.sink:
+        # Applied here (not via Options.sink) so the stats reach stderr
+        # and --dump-asm shows the rewritten code.
+        from .postproc import sink_program
+        sstats = sink_program(compiled.asm)
+        print(f"! sink: {sstats}", file=sys.stderr)
     if args.dump_asm:
         print(compiled.asm.render())
         return 0
@@ -132,7 +144,8 @@ def cmd_cc(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from .bench.tables import render_slowdown_table
     table_key = {"ss2": "t1_ss2", "ss10": "t2_ss10", "p90": "t3_p90"}[args.model]
-    tc = Toolchain(model=args.model, workers=args.workers)
+    tc = Toolchain(model=args.model, workers=args.workers,
+                   pgo=args.pgo, sink=args.sink)
     workloads = tuple(args.workloads.split(",")) if args.workloads else None
     rows = tc.bench(workloads)
     print(render_slowdown_table(
@@ -186,6 +199,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="O")
     p.add_argument("--model", choices=tuple(MODELS), default="ss10")
     p.add_argument("--postproc", action="store_true")
+    p.add_argument("--sink", action="store_true",
+                   help="run the escape-analysis allocation-sinking pass")
+    p.add_argument("--pgo", default=None, metavar="FILE",
+                   help="fuse hot blocks from a repro-vmprof-pgo/1 profile")
     p.add_argument("--gc-interval", type=int, default=0)
     p.add_argument("--poison", action="store_true")
     p.add_argument("--stdin")
@@ -199,6 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workloads", default="")
     p.add_argument("--workers", type=int, default=1,
                    help="shard benchmark cells across N worker processes")
+    p.add_argument("--sink", action="store_true",
+                   help="run the escape-analysis allocation-sinking pass "
+                        "on every cell")
+    p.add_argument("--pgo", default=None, metavar="FILE",
+                   help="replay a repro-vmprof-pgo/1 profile: fuse its "
+                        "hot blocks into superinstructions")
     _add_obs_args(p)
     _add_cache_args(p)
     p.set_defaults(fn=cmd_bench)

@@ -21,7 +21,8 @@ Key anatomy — the SHA-256 of a canonical JSON object::
 
 and for result-cache keys additionally the run parameters
 ``{compile_key, stdin, gc_interval, poison, postprocessed, entry,
-max_instructions}``.  Any component changing — one config flag, one
+max_instructions}`` plus, when active, ``pgo`` (the superinstruction
+plan digest) and ``sink`` (allocation sinking).  Any component changing — one config flag, one
 optimizer pass, the salt — produces a different address, so
 "invalidation" is structural: stale entries are simply never addressed
 again.  Sources that pull in out-of-band bytes (``#include``) are not
@@ -67,7 +68,9 @@ from ..resil import inject as resil_inject
 
 # Bump whenever any pipeline stage may produce different output for the
 # same (source, config): it salts every key, orphaning old entries.
-CODE_VERSION = "repro-exec-cache/1"
+# /2: superinstruction fusion + allocation sinking (PR 6) changed what a
+# "cell" can contain, and cells gained sink/pgo fields.
+CODE_VERSION = "repro-exec-cache/2"
 
 _MAGIC = b"RPROCC01"
 _DIGEST_LEN = 32
@@ -359,15 +362,25 @@ class ResultCache(_DiskCache):
     def key_for(self, source: str, config, *, stdin: str = "",
                 gc_interval: int = 0, poison: bool = False,
                 postprocessed: bool = False, entry: str = "main",
-                max_instructions: int = 500_000_000) -> str | None:
+                max_instructions: int = 500_000_000,
+                pgo: str | None = None, sink: bool = False) -> str | None:
         fp = config_fingerprint(config)
         if fp is None or "#include" in source:
             return None
-        return self._key({
+        body = {
             "source": source, "config": fp, "stdin": stdin,
             "gc_interval": gc_interval, "poison": poison,
             "postprocessed": postprocessed, "entry": entry,
-            "max_instructions": max_instructions})
+            "max_instructions": max_instructions}
+        # PGO/sinking salt the key only when active, so every key minted
+        # before these knobs existed still addresses the same entry —
+        # and a PGO'd cell can never alias its unPGO'd twin (the plan
+        # digest folds in the exact hot-block set).
+        if pgo is not None:
+            body["pgo"] = pgo
+        if sink:
+            body["sink"] = True
+        return self._key(body)
 
 
 # -- process-wide active caches -------------------------------------------

@@ -6,7 +6,11 @@ with linked-list chains, nested (2-D) arrays, global arrays, helper
 functions, pointer casts, interior pointers, allocation churn, and —
 deliberately — the disguise-prone address arithmetic shapes the paper
 opens with (``p[i - C]`` reassociation bait and the ``x + (x - c)``
-in-place aliasing shape from the PR 1 addrfold miscompile).
+in-place aliasing shape from the PR 1 addrfold miscompile), plus
+allocation-sinking bait for the escape-analysis pass: fully local
+scratch buffers (should sink), conditional escapes, aliases through
+casts, and buffers live across another allocation (must not sink, or
+must sink without changing observables).
 
 Every program is defined-behavior by construction:
 
@@ -169,6 +173,47 @@ class _Gen:
     def st_struct_call(self) -> str:
         return "acc = (acc + sf0(head)) & 0xFFFF;"
 
+    # -- allocation-sinking bait (postproc.sink) ----------------------------
+    #
+    # Shapes chosen to straddle the sinking pass's safety line: one that
+    # should sink (fully local scratch buffer), and three that must not
+    # (conditional escape, alias through a cast that feeds a store, and
+    # a buffer live across another allocation — a collection point).
+    # The oracle runs sink-enabled cells against the reference, so a
+    # pass that sinks any of the hostile ones shows up as a mismatch.
+
+    def st_sink_local(self) -> str:
+        sz = self.rng.randint(2, 16)
+        m = self.rng.randint(1, 9)
+        return (f"{{ int *t = (int *)GC_malloc({sz} * sizeof(int)); "
+                f"for (j = 0; j < {sz}; j++) t[j] = (acc + j * {m}) & 0xFF; "
+                f"for (j = 0; j < {sz}; j++) acc = (acc + t[j]) & 0xFFFF; }}")
+
+    def st_sink_cond_escape(self) -> str:
+        sz = self.rng.randint(2, 12)
+        thr = self.rng.randint(0, 200)
+        return (f"{{ int *t = (int *)GC_malloc({sz} * sizeof(int)); "
+                f"t[0] = acc & 0xFF; "
+                f"if (({self.expr(1)}) > {thr}) b = t; "
+                f"acc = (acc + b[0]) & 0xFFFF; }}")
+
+    def st_sink_alias_cast(self) -> str:
+        sz = self.rng.randint(2, 12)
+        bi = self.rng.randint(0, 4 * sz - 1)
+        return (f"{{ int *t = (int *)GC_malloc({sz} * sizeof(int)); "
+                f"char *q = (char *)t; "
+                f"for (j = 0; j < {sz}; j++) t[j] = (j + acc) & 0xFF; "
+                f"q[{bi}] = acc & 0x7F; "
+                f"acc = (acc + t[{bi // 4}]) & 0xFFFF; }}")
+
+    def st_sink_live_across_gc(self) -> str:
+        sz = self.rng.randint(2, 12)
+        churn = self.rng.randint(8, 64)
+        return (f"{{ int *t = (int *)GC_malloc({sz} * sizeof(int)); "
+                f"t[0] = (acc + 7) & 0xFF; "
+                f"GC_malloc({churn}); "
+                f"acc = (acc + t[0]) & 0xFFFF; }}")
+
     def st_cond(self) -> str:
         i1, i2 = self.idx(), self.idx()
         return (f"if (({self.expr(1)}) > {self.rng.randint(0, 200)}) "
@@ -185,6 +230,8 @@ class _Gen:
             (self.st_churn, 2), (self.st_pure_churn, 1),
             (self.st_byte_view, 2), (self.st_cast_roundtrip, 2),
             (self.st_ptr_walk, 2), (self.st_stk2d, 2), (self.st_cond, 2),
+            (self.st_sink_local, 2), (self.st_sink_cond_escape, 1),
+            (self.st_sink_alias_cast, 1), (self.st_sink_live_across_gc, 1),
         ]
         if self.use_struct:
             kinds += [(self.st_struct_walk, 2), (self.st_struct_store, 2),

@@ -9,7 +9,13 @@ For one source program:
 2. re-run the GC-safe configs (:data:`ADVERSARIAL_CONFIGS`) under the
    adversarial collector — a collection every ``adv_interval``
    instructions with reclaimed objects poisoned — and require the same
-   observables again.
+   observables again;
+3. re-run :data:`SINK_CONFIGS` with the escape-analysis
+   allocation-sinking pass applied (plain, and adversarially for the
+   GC-safe subset): sinking changes instruction counts by design, but
+   exit code and output must not move.  The generator emits sink bait
+   (local scratch buffers, conditional escapes, aliases through casts,
+   buffers live across an allocation) specifically to stress this line.
 
 The unsafe ``O`` build is deliberately *excluded* from step 2: the
 paper's thesis is precisely that an optimizing build without KEEP_LIVE
@@ -36,6 +42,13 @@ from ..machine.vm import VM, VMError
 ALL_CONFIGS = CONFIGS  # ("O0", "O", "O_safe", "g", "g_checked")
 # Configs that must additionally survive the adversarial collector.
 ADVERSARIAL_CONFIGS = ("O0", "O_safe", "g", "g_checked")
+# Configs re-run with the allocation-sinking pass applied.  ``O`` is the
+# pass's real target; ``O0``/``g`` exercise it on naive codegen (where
+# debug frame stores usually block it — blocking must also be sound).
+SINK_CONFIGS = ("O", "O0", "g")
+# Sink cells that must also survive the adversarial collector (``O`` is
+# excluded for the same reason as in step 2: unsafe by design).
+SINK_ADVERSARIAL_CONFIGS = ("O0", "g")
 # The reference cell: unoptimized, fully debuggable — the paper's
 # "obviously correct" column.
 REFERENCE_CONFIG = "g"
@@ -106,14 +119,20 @@ class OracleReport:
 
 def compile_and_run(source: str, config_name: str, model_name: str = "ss10",
                     gc_interval: int = 0, poison: bool = True,
-                    max_instructions: int = 5_000_000) -> Outcome:
+                    max_instructions: int = 5_000_000,
+                    sink: bool = False) -> Outcome:
     """Compile + execute one cell, folding every failure mode into an
-    :class:`Outcome` so cells are always comparable."""
+    :class:`Outcome` so cells are always comparable.  ``sink`` applies
+    the allocation-sinking pass to the compiled program first (safe to
+    mutate: the compile cache hands out fresh copies)."""
     model = MODELS[model_name]
     try:
         compiled = compile_source(source, CompileConfig.named(config_name, model))
     except CFrontError as exc:
         return Outcome("compile-error", detail=str(exc))
+    if sink:
+        from ..postproc.sink import sink_program
+        sink_program(compiled.asm)
     gc = Collector()
     if poison:
         gc.heap.poison_byte = POISON_BYTE
@@ -132,10 +151,14 @@ def compile_and_run(source: str, config_name: str, model_name: str = "ss10",
 
 def _cell_worker(payload: tuple) -> Outcome:
     """Engine task: one oracle cell.  Payload is (source, config, model,
-    gc_interval, poison, max_instructions) — all picklable scalars."""
-    source, config, model, gc_interval, poison, max_instructions = payload
+    gc_interval, poison, max_instructions[, sink]) — all picklable
+    scalars; the optional seventh element keeps older 6-tuple payloads
+    working."""
+    source, config, model, gc_interval, poison, max_instructions = payload[:6]
+    sink = bool(payload[6]) if len(payload) > 6 else False
     return compile_and_run(source, config, model, gc_interval=gc_interval,
-                           poison=poison, max_instructions=max_instructions)
+                           poison=poison, max_instructions=max_instructions,
+                           sink=sink)
 
 
 def run_cells(cells: list[tuple], workers: int = 1) -> list[Outcome]:
@@ -168,6 +191,13 @@ def matrix_cells(source: str, models: tuple[str, ...] = DEFAULT_MODELS,
             cells.append(("adversarial", (source, config, model,
                                           adv_interval, True,
                                           max_instructions)))
+    for config in SINK_CONFIGS:
+        cells.append(("sink", (source, config, primary, 0, True,
+                               max_instructions, True)))
+    for config in SINK_ADVERSARIAL_CONFIGS:
+        cells.append(("sink-adversarial", (source, config, primary,
+                                           adv_interval, True,
+                                           max_instructions, True)))
     return cells
 
 
@@ -240,9 +270,10 @@ def mismatch_predicate(signature: tuple[str, str, str] | None = None,
                            max_instructions)], workers=1)
         if ref.status != "ok":
             return kind == "reference"
-        gc_interval = adv_interval if kind == "adversarial" else 0
+        gc_interval = adv_interval if kind.endswith("adversarial") else 0
+        sink = kind.startswith("sink")
         out, = run_cells([(source, config, model, gc_interval, True,
-                           max_instructions)], workers=1)
+                           max_instructions, sink)], workers=1)
         return out.key() != ref.key()
 
     return pred

@@ -1,0 +1,562 @@
+"""Profile-guided superinstructions: fuse hot straight-line MInst
+sequences into single dispatched closures.
+
+The threaded-code interpreter (``vm.py``) pays a fixed per-instruction
+toll: one dict-free loop iteration (count, budget check, dispatch) plus
+one closure call per MInst.  For the hot inner blocks that vmprof
+identifies, that toll dominates — the arithmetic inside the closures is
+cheap compared to the dispatch around them.  A *superinstruction*
+collapses a straight-line run of fusable instructions within one hot
+basic block into a single ``exec``-compiled closure: registers are
+cached in Python locals across the run, loads/stores keep their
+page-cache fast path inline, and the loop dispatches once for the whole
+run.
+
+A run may contain conditional branches as *early exits*: the fused
+closure evaluates the condition inline, and on a taken branch writes
+back the registers cached so far, settles the instruction/cycle
+counters for exactly the constituents that executed (branch taken-cost
+included), and returns the branch target.  A trailing ``jmp`` or
+``ret`` fuses the same way.  Calls (compiled or builtin) never fuse: a
+collection can run inside them, and the collector must see the true
+register file — locals cached in a fused closure would be invisible
+roots.
+
+Counts stay bit-identical by construction:
+
+* every fusable op has a static model cost, and branch taken/not-taken
+  costs are settled on the path actually executed, so instruction and
+  cycle totals equal the unfused sums exactly;
+* the instruction budget is checked once per *segment* (the
+  unconditional stretch up to and including the next possible exit):
+  a segment's constituents execute unconditionally once it is entered,
+  so the unfused loop raises within the segment iff the fused check
+  trips; the counter is left at ``budget + 1`` either way and the same
+  :class:`~repro.machine.vm.VMError` escapes;
+* runs never span branch landing sites (the instruction after a
+  *targeted* label — one some branch actually names), so control can
+  never jump into the middle of a fused region.  Fall-through-only
+  labels are crossed freely as zero-cost constituents, which is what
+  lets a whole loop (header test, body, step block, backward jump)
+  fuse into one closure whose backward branch iterates *inside* the
+  closure with registers still cached in locals;
+* fusion is disabled entirely when ``gc_interval`` is nonzero: the
+  asynchronous-collection trigger must observe every instruction
+  boundary, and batching counter updates would shift which instructions
+  collections land on.
+
+Selection is profile-guided: a ``repro-vmprof-pgo/1`` envelope (emitted
+by ``repro.obs`` from a profiled run, or by ``VMProfile.to_pgo``) names
+each basic block's cycle share; the plan takes the top-N blocks above a
+minimum share.  The plan's digest salts result-cache keys so PGO'd runs
+never alias unPGO'd cache entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..gc.memory import MemoryFault
+from ..obs.vmprof import PGO_SCHEMA
+from .asm import ALU_OPS, MInst, UNARY_OPS
+from .vm import ALU_FUNCS, UNARY_FUNCS, VMError, _MASK, _RET_PC
+
+# Runs shorter than this are not worth a fused closure: the single
+# saved dispatch would not cover the writeback bookkeeping.
+MIN_RUN = 2
+
+# Default selection knobs: top-N blocks by cycles, ignoring blocks
+# below a minimum share of total cycles (cold blocks would bloat
+# closure-compile time for no dispatch savings).
+DEFAULT_TOP = 64
+DEFAULT_MIN_SHARE = 0.0005
+
+
+# -- the persisted profile ---------------------------------------------------
+
+
+def load_pgo(path: str) -> dict:
+    """Read and validate a ``repro-vmprof-pgo/1`` envelope."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    if schema != PGO_SCHEMA:
+        raise ValueError(f"not a {PGO_SCHEMA} envelope: "
+                         f"schema={schema!r} in {path}")
+    return doc
+
+
+def save_pgo(doc: dict, path: str) -> None:
+    if doc.get("schema") != PGO_SCHEMA:
+        raise ValueError(f"refusing to save non-{PGO_SCHEMA} document")
+    with open(path, "w") as fh:
+        json.dump(doc, fh, sort_keys=True)
+        fh.write("\n")
+
+
+# -- the plan ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SuperinstPlan:
+    """The fusion plan: which (function, block) pairs are hot.  Frozen
+    and hashable so it can ride in cache keys and worker payloads."""
+
+    blocks: frozenset
+    source: str = ""
+
+    def digest(self) -> str:
+        """Stable identity of the plan, used to salt result-cache keys
+        (a PGO'd run must never alias an unPGO'd cache entry)."""
+        blob = json.dumps(sorted(self.blocks), separators=(",", ":"))
+        return "pgo-" + hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def __bool__(self) -> bool:
+        return bool(self.blocks)
+
+
+def plan_from_pgo(doc: dict, top: int = DEFAULT_TOP,
+                  min_share: float = DEFAULT_MIN_SHARE) -> SuperinstPlan:
+    """Select the top-N hottest blocks from a pgo envelope.  Selection
+    is deterministic: cycles descending, then (function, block) name."""
+    total = int(doc.get("total_cycles") or 0)
+    rows = [(str(r["function"]), str(r["block"]),
+             int(r.get("cycles", 0)))
+            for r in doc.get("blocks", ())]
+    rows.sort(key=lambda r: (-r[2], r[0], r[1]))
+    floor = total * min_share
+    picked = frozenset((f, b) for f, b, cyc in rows[:top] if cyc >= floor)
+    return SuperinstPlan(picked, source=str(doc.get("tag", "")))
+
+
+def plan_from_profile(profile, top: int = DEFAULT_TOP,
+                      min_share: float = DEFAULT_MIN_SHARE) -> SuperinstPlan:
+    return plan_from_pgo(profile.to_pgo(), top=top, min_share=min_share)
+
+
+# -- fusion ------------------------------------------------------------------
+
+
+@dataclass
+class FusedRun:
+    """One installed superinstruction: insts[start..end] of a function."""
+    start: int
+    end: int
+    block: str
+    n_insts: int
+    cycles: int
+
+
+@dataclass
+class SuperinstStats:
+    runs: int = 0           # fused sequences installed
+    instructions: int = 0   # constituent MInsts covered
+    per_function: dict = field(default_factory=dict)
+
+    def add(self, name: str, fused: Iterable[FusedRun]) -> None:
+        for r in fused:
+            self.runs += 1
+            self.instructions += r.n_insts
+            self.per_function[name] = self.per_function.get(name, 0) + 1
+
+
+# Ops fusable with no per-op state beyond operands.  Calls are excluded
+# (a collection may run inside them); labels are excluded (they delimit
+# blocks and their successor is a branch target).  Conditional branches
+# fuse as early exits; jmp/ret terminate a run.
+_NO_CODE_OPS = frozenset(("nop", "keepsafe"))
+_EXIT_OPS = frozenset(("bz", "bnz", "jmp", "ret"))
+
+# ALU/unary ops whose semantics are inlined as expressions; the rest
+# (div/mod/signed compares/shifts with sign handling) call the bound
+# semantic function from vm.py, preserving error messages exactly.
+_INLINE_RR = {
+    "add": "({a} + {b}) & 4294967295",
+    "sub": "({a} - {b}) & 4294967295",
+    "mul": "({a} * {b}) & 4294967295",
+    "and": "{a} & {b}",
+    "or": "{a} | {b}",
+    "xor": "{a} ^ {b}",
+    "shl": "(({a}) << ({b} & 31)) & 4294967295",
+    "srl": "({a}) >> ({b} & 31)",
+    "seq": "1 if {a} == {b} else 0",
+    "sne": "1 if {a} != {b} else 0",
+    "sltu": "1 if {a} < {b} else 0",
+    "sleu": "1 if {a} <= {b} else 0",
+    "sgtu": "1 if {a} > {b} else 0",
+    "sgeu": "1 if {a} >= {b} else 0",
+}
+_INLINE_UNARY = {
+    "neg": "(-({a})) & 4294967295",
+    "bnot": "(~({a})) & 4294967295",
+    "not": "1 if {a} == 0 else 0",
+    "zext8": "({a}) & 255",
+    "zext16": "({a}) & 65535",
+}
+
+
+def _fusable(vm, inst: MInst, labels: dict[str, int]) -> bool:
+    op = inst.op
+    if op in _NO_CODE_OPS or op == "li" or op == "mov":
+        return True
+    if op in ALU_OPS or op in UNARY_OPS:
+        return True
+    if op == "ld" or op == "st" or op == "ret":
+        return True
+    if op == "bz" or op == "bnz" or op == "jmp":
+        # Only with a resolvable target: an undefined label must keep
+        # its raise-on-execute closure.
+        return inst.symbol in labels
+    if op == "la":
+        # Likewise only when the symbol resolves.
+        return (inst.symbol in vm.global_addr
+                or inst.symbol in vm.func_addr)
+    return False
+
+
+def _find_runs(vm, name: str, insts: list[MInst],
+               labels: dict[str, int], plan: SuperinstPlan):
+    """Maximal fusable runs starting in hot blocks: straight-line code
+    plus conditional-branch early exits, terminated by calls, jmp, ret,
+    or anything unfusable — and never containing a branch-entry point
+    strictly inside.
+
+    Only *targeted* labels (those some branch names) are entry points;
+    a fall-through-only label is reachable solely from the instruction
+    above it, so a run may safely cross it.  That is what lets a whole
+    loop — header test, body, step block, backward jump — fuse into a
+    single closure: the header's label is targeted (the backward jump
+    names it), so the run starts right after it, and the backward jump
+    then targets the run's own start and loops in place.  An open run
+    also continues through the cold fall-through stretch after such a
+    label: it executes exactly as often as the hot code above it."""
+    hot = plan.blocks
+    targeted = {inst.symbol for inst in insts
+                if inst.op in ("bz", "bnz", "jmp")}
+    runs: list[tuple[int, int, str]] = []
+    run_block = "entry"
+    cur_block = "entry"
+    start = -1
+
+    def flush(stop: int) -> None:
+        if start >= 0 and stop - start >= MIN_RUN:
+            runs.append((start, stop - 1, run_block))
+
+    for i, inst in enumerate(insts):
+        if inst.op == "label":
+            if inst.symbol in targeted:
+                # Branch landing site: the next instruction is an entry
+                # point, so no run may cross it.  (Untargeted labels
+                # fall through into the run and fuse as zero-cost
+                # constituents.)
+                flush(i)
+                start = -1
+            cur_block = inst.symbol
+            continue
+        if not _fusable(vm, inst, labels):
+            flush(i)
+            start = -1
+            continue
+        if start < 0:
+            if (name, cur_block) in hot:
+                start = i
+                run_block = cur_block
+            continue
+        if inst.op == "jmp" or inst.op == "ret":
+            # Control unconditionally leaves: close the run here
+            # (anything up to the next label is unreachable).
+            flush(i + 1)
+            start = -1
+    flush(len(insts))
+    return runs
+
+
+def _compile_run(vm, insts: list[MInst], start: int, end: int,
+                 labels: dict[str, int]) -> tuple:
+    """exec-compile insts[start..end] into one closure.  Returns
+    (closure, n_insts, cycles)."""
+    model = vm.model
+    env: dict[str, Any] = {
+        "_R": vm.regs,
+        "_ST": vm._st,
+        "_PG": vm.memory._pages,
+        "_ERR": VMError,
+        "_FB": int.from_bytes,
+        "_LD": _make_slow_load(vm),
+        "_STO": _make_slow_store(vm),
+    }
+    bound: dict[int, str] = {}
+
+    def bind(fn) -> str:
+        name = bound.get(id(fn))
+        if name is None:
+            name = f"_f{len(bound)}"
+            bound[id(fn)] = name
+            env[name] = fn
+        return name
+
+    # All register loads are hoisted to a preamble before the run body
+    # (the register dict cannot change while the closure runs — only
+    # its own exits write it — so loading early reads the same values).
+    # This lets a backward branch targeting the run's own start loop
+    # *inside* the closure with registers still cached in locals.
+    #
+    # A run with such a backward branch preloads every touched register
+    # and writes the full set back at every exit (after iteration one,
+    # anything may be dirty; identity writes of preloaded locals are
+    # harmless).  A straight-line run is cheaper: execution reaching
+    # constituent ``i`` has unconditionally executed every write before
+    # ``i`` (non-exit constituents assign on all paths), so each exit
+    # writes back exactly the prefix of registers written so far, and
+    # write-only registers need no preload at all.
+    has_self = any(
+        insts[i].op in ("bz", "bnz", "jmp")
+        and insts[i].symbol in labels
+        and labels[insts[i].symbol] + 1 == start
+        for i in range(start, end + 1))
+    body: list[str] = []
+    loads: list[str] = []
+    known: dict[str, str] = {}
+
+    def rd(reg: str) -> str:
+        v = known.get(reg)
+        if v is None:
+            v = known[reg] = "_r_" + reg
+            loads.append(f"    {v} = _R[{reg!r}]")
+        return v
+
+    def wr(reg: str) -> str:
+        if has_self:
+            return rd(reg)
+        v = known.get(reg)
+        if v is None:
+            v = known[reg] = "_r_" + reg
+        written.add(reg)
+        return v
+
+    written: set[str] = set()
+
+    # Every register the run writes, known up front so any exit — even
+    # one before the write in iteration one of an in-closure loop — can
+    # write back the full set (identity writes are harmless: the local
+    # was preloaded from the dict).
+    full_written = sorted({w for i in range(start, end + 1)
+                           if (w := insts[i].register_written())})
+    if has_self:
+        for reg in full_written:
+            rd(reg)
+
+    budget = vm.max_instructions
+    guarded = -1  # additional-instruction count already budget-checked
+
+    # Self-loop runs keep the instruction/cycle counters in locals for
+    # the closure's lifetime and settle ``_ST`` only when leaving: no
+    # call can occur inside a run, so nothing else observes the shared
+    # counters while the closure iterates.  (At a budget raise the
+    # counter is settled to ``budget + 1``; the cycle counter's partial
+    # state is unobservable — no RunResult is built on a VMError.)
+    ic = "_ic" if has_self else "_ST[0]"
+    if has_self:
+        loads.append("    _ic = _ST[0]")
+        loads.append("    _cy = _ST[1]")
+
+    def emit_check(through: int) -> None:
+        """Guard the unconditional segment ending at index ``through``:
+        once entered, everything up to there executes, so one check
+        against the segment's final count raises iff the per-
+        instruction loop would have raised inside it (leaving the
+        counter at budget + 1 either way)."""
+        nonlocal guarded
+        e = through - start
+        if e <= guarded:
+            return
+        guarded = e
+        body.append(f"    if {ic} + {e} > {budget}:")
+        body.append(f"        _ST[0] = {budget + 1}")
+        body.append("        raise _ERR('instruction budget exceeded "
+                    "(runaway program?)')")
+
+    def seg_end(frm: int) -> int:
+        for j in range(frm, end + 1):
+            if insts[j].op in _EXIT_OPS:
+                return j
+        return end
+
+    def emit_exit(i: int, extra_cycles: int, target: int,
+                  indent: str) -> None:
+        """Settle counters, then leave the run (or, for a branch back
+        to the run's own start, loop in place with locals intact)."""
+        if target == start:
+            # Self-loop: count and budget-check the next iteration's
+            # leader (the external loop would have done both), keep
+            # the register cache, and restart the body.
+            body.append(f"{indent}_ic += {i - start + 1}")
+            body.append(f"{indent}if _ic > {budget}:")
+            body.append(f"{indent}    _ST[0] = {budget + 1}")
+            body.append(f"{indent}    raise _ERR('instruction budget "
+                        "exceeded (runaway program?)')")
+            body.append(f"{indent}_cy += {cycles + extra_cycles}")
+            body.append(f"{indent}continue")
+            return
+        for reg in (full_written if has_self else sorted(written)):
+            body.append(f"{indent}_R[{reg!r}] = {known[reg]}")
+        if has_self:
+            body.append(f"{indent}_ST[0] = _ic + {i - start}")
+            body.append(f"{indent}_ST[1] = _cy + {cycles + extra_cycles}")
+        else:
+            if i > start:
+                body.append(f"{indent}_ST[0] += {i - start}")
+            body.append(f"{indent}_ST[1] += {cycles + extra_cycles}")
+        body.append(f"{indent}return {target}")
+
+    cycles = 0  # static cost of the fall-through path so far
+    tmp = 0
+    for i in range(start, end + 1):
+        inst = insts[i]
+        op = inst.op
+        # Guard the whole segment ahead (through its terminating exit);
+        # an exit op itself only needs to be guarded through i.
+        emit_check(i if op in _EXIT_OPS else seg_end(i))
+        if op == "bz" or op == "bnz":
+            cond = rd(inst.rs1)
+            taken = model.cycles_for(op, taken=True)
+            target = labels[inst.symbol] + 1
+            rel = "==" if op == "bz" else "!="
+            body.append(f"    if {cond} {rel} 0:")
+            emit_exit(i, taken, target, " " * 8)
+            cycles += model.cycles_for(op)
+            continue
+        if op == "jmp":
+            taken = model.cycles_for(op, taken=True)
+            emit_exit(i, taken, labels[inst.symbol] + 1, " " * 4)
+            cycles += taken
+            continue
+        if op == "ret":
+            emit_exit(i, model.cycles_for(op), _RET_PC, " " * 4)
+            cycles += model.cycles_for(op)
+            continue
+        cycles += model.cycles_for(op)
+        if op in _NO_CODE_OPS or op == "label":
+            # Zero cycles, no code; counts one instruction by position
+            # (the unfused loop dispatches its op_skip closure once).
+            continue
+        if op == "li":
+            val = (inst.imm or 0) & _MASK
+            body.append(f"    {wr(inst.rd)} = {val}")
+        elif op == "la":
+            addr = vm.global_addr.get(inst.symbol)
+            if addr is None:
+                addr = vm.func_addr[inst.symbol]
+            body.append(f"    {wr(inst.rd)} = {addr}")
+        elif op == "mov":
+            src = rd(inst.rs1)
+            body.append(f"    {wr(inst.rd)} = {src}")
+        elif op in ALU_OPS:
+            a = rd(inst.rs1)
+            if inst.rs2 is not None:
+                b = rd(inst.rs2)
+            else:
+                b = str((inst.imm or 0) & _MASK)
+            tmpl = _INLINE_RR.get(op)
+            if tmpl is not None:
+                expr = tmpl.format(a=a, b=b)
+            else:
+                expr = f"{bind(ALU_FUNCS[op])}({a}, {b})"
+            body.append(f"    {wr(inst.rd)} = {expr}")
+        elif op in UNARY_OPS:
+            a = rd(inst.rs1)
+            tmpl = _INLINE_UNARY.get(op)
+            if tmpl is not None:
+                expr = tmpl.format(a=a)
+            else:
+                expr = f"{bind(UNARY_FUNCS[op])}({a})"
+            body.append(f"    {wr(inst.rd)} = {expr}")
+        elif op == "ld":
+            base = rd(inst.rs1)
+            idx = rd(inst.rs2) if inst.rs2 else str(inst.imm or 0)
+            w = inst.width
+            t = tmp = tmp + 1
+            body.append(f"    _a{t} = ({base} + {idx}) & 4294967295")
+            body.append(f"    _o{t} = _a{t} & 4095")
+            body.append(f"    _p{t} = _PG.get(_a{t} >> 12)")
+            dst = wr(inst.rd)
+            if w == 4:
+                body.append(f"    if _p{t} is None or _o{t} > 4092:")
+                body.append(f"        {dst} = _LD(_a{t}, 4, False)")
+                body.append(f"    else:")
+                body.append(f"        {dst} = "
+                            f"_FB(_p{t}[_o{t}:_o{t} + 4], 'little')")
+            else:
+                body.append(f"    if _p{t} is None or _o{t} + {w} > 4096:")
+                body.append(f"        {dst} = _LD(_a{t}, {w}, {inst.signed})")
+                body.append(f"    else:")
+                body.append(f"        {dst} = _FB(_p{t}[_o{t}:_o{t} + {w}], "
+                            f"'little', signed={inst.signed}) & 4294967295")
+        elif op == "st":
+            val = rd(inst.rd)
+            base = rd(inst.rs1)
+            idx = rd(inst.rs2) if inst.rs2 else str(inst.imm or 0)
+            w = inst.width
+            vmask = (1 << (8 * w)) - 1
+            t = tmp = tmp + 1
+            body.append(f"    _a{t} = ({base} + {idx}) & 4294967295")
+            body.append(f"    _o{t} = _a{t} & 4095")
+            body.append(f"    _p{t} = _PG.get(_a{t} >> 12)")
+            body.append(f"    if _p{t} is None or _o{t} + {w} > 4096:")
+            body.append(f"        _STO(_a{t}, {val}, {w})")
+            body.append(f"    else:")
+            body.append(f"        _p{t}[_o{t}:_o{t} + {w}] = "
+                        f"(({val}) & {vmask}).to_bytes({w}, 'little')")
+        else:  # pragma: no cover - guarded by _fusable
+            raise VMError(f"cannot fuse {op!r}")
+
+    n_insts = end - start + 1
+    if insts[end].op != "jmp" and insts[end].op != "ret":
+        emit_exit(end, 0, end + 1, " " * 4)
+    lines = ["def _super(pc):"]
+    lines.extend(loads)
+    lines.append("    while True:")
+    lines.extend("    " + line for line in body)
+    code = compile("\n".join(lines), f"<superinst:{start}-{end}>", "exec")
+    ns = dict(env)
+    exec(code, ns)
+    return ns["_super"], n_insts, cycles
+
+
+def _make_slow_load(vm):
+    mem = vm.memory
+
+    def _ld(a, width, signed):
+        try:
+            return mem.load(a, width, signed) & _MASK
+        except MemoryFault:
+            raise VMError(f"load fault at 0x{a:08x}") from None
+    return _ld
+
+
+def _make_slow_store(vm):
+    mem = vm.memory
+
+    def _st(a, value, width):
+        try:
+            mem.store(a, value, width)
+        except MemoryFault:
+            raise VMError(f"store fault at 0x{a:08x}") from None
+    return _st
+
+
+def fuse_function(vm, name: str, insts: list[MInst],
+                  labels: dict[str, int], ops: list,
+                  plan: SuperinstPlan) -> list[FusedRun]:
+    """Install fused closures for hot runs of ``name`` in-place into the
+    compiled closure list ``ops``; returns the installed runs (the
+    profiler uses them to attribute fused cycles back to constituents)."""
+    fused: list[FusedRun] = []
+    for start, end, block in _find_runs(vm, name, insts, labels, plan):
+        closure, n_insts, cycles = _compile_run(vm, insts, start, end, labels)
+        ops[start] = closure
+        fused.append(FusedRun(start, end, block, n_insts, cycles))
+    return fused

@@ -129,9 +129,14 @@ class VM:
                  collector: Collector | None = None,
                  gc_interval: int = 0, stack_size: int = 1 << 20,
                  max_instructions: int = 500_000_000,
-                 profile: VMProfile | None = None):
+                 profile: VMProfile | None = None,
+                 superinst=None):
         self.program = program
         self.model = model
+        # Optional profile-guided fusion plan (machine.superinst
+        # .SuperinstPlan); applied at closure-compile time below.
+        self.superinst = superinst
+        self.superinst_stats = None
         self.gc = collector if collector is not None else Collector()
         # Hot-spot profiling is strictly opt-in: either an explicit
         # profile or the process-wide sink (``repro.obs`` --profile).
@@ -230,13 +235,28 @@ class VM:
 
     def _compile_all(self) -> None:
         self._ops: dict[str, list] = {}
+        fuse = None
+        plan = self.superinst
+        # Fusion is incompatible with the asynchronous-collection
+        # trigger: gc_interval must observe every instruction boundary,
+        # so a nonzero interval disables superinstructions outright
+        # rather than shifting where collections land.
+        if plan is not None and plan.blocks and not self.gc_interval:
+            from .superinst import SuperinstStats, fuse_function
+            self.superinst_stats = SuperinstStats()
+            fuse = fuse_function
         for name, insts in self.code.items():
             ops = self._compile_function(insts, self.labels[name])
+            fused = ()
+            if fuse is not None:
+                fused = fuse(self, name, insts, self.labels[name], ops, plan)
+                self.superinst_stats.add(name, fused)
             if self._profile is not None:
-                ops = self._wrap_profiled(name, insts, ops)
+                ops = self._wrap_profiled(name, insts, ops, fused)
             self._ops[name] = ops
 
-    def _wrap_profiled(self, name: str, insts: list[MInst], ops: list) -> list:
+    def _wrap_profiled(self, name: str, insts: list[MInst], ops: list,
+                       fused=()) -> list:
         """Wrap each compiled closure with a cycle-attribution shim (see
         ``obs.vmprof`` for the attribution rules).  The shims only read
         the shared counters, so instruction/cycle totals are identical
@@ -257,10 +277,31 @@ class VM:
             block_of.append(block)
 
         fcell = prof.func_cell(name)
+        fused_at = {r.start: r for r in fused}
         wrapped: list = []
         for i, (inst, op) in enumerate(zip(insts, ops)):
             bcell = prof.block_cell(name, block_of[i])
-            if inst.op == "call" and inst.symbol not in BUILTINS:
+            run = fused_at.get(i)
+            if run is not None:
+                # Superinstruction: measure the counter deltas of the
+                # whole run (early exits make both dynamic) and credit
+                # them to the run's function and block — the fused
+                # closure settles counters exactly as the constituents
+                # would, so the profiler invariants survive fusion.
+                # The loop counted the leader before dispatch; add it.
+
+                def w(pc, _op=op, _f=fcell, _b=bcell):
+                    i0 = st[0]
+                    c0 = st[1]
+                    npc = _op(pc)
+                    dn = st[0] - i0 + 1
+                    d = st[1] - c0
+                    _f[0] += d
+                    _f[1] += dn
+                    _b[0] += d
+                    _b[1] += dn
+                    return npc
+            elif inst.op == "call" and inst.symbol not in BUILTINS:
                 # Compiled callee runs *inside* op(): attribute only the
                 # static call cost here; the callee's shims do the rest.
                 ccell = prof.func_cell(inst.symbol)

@@ -1,8 +1,11 @@
-"""Peephole postprocessor: recovers most KEEP_LIVE overhead on the
-generated machine code (paper, "A Postprocessor")."""
+"""Machine-code postprocessors: the peephole pass that recovers most
+KEEP_LIVE overhead (paper, "A Postprocessor") and the opt-in
+escape-analysis allocation-sinking pass."""
 
 from .liveness import Liveness, basic_blocks
 from .peephole import PeepholeStats, postprocess, postprocess_function
+from .sink import SinkStats, sink_function, sink_program
 
 __all__ = ["Liveness", "basic_blocks", "PeepholeStats", "postprocess",
-           "postprocess_function"]
+           "postprocess_function", "SinkStats", "sink_function",
+           "sink_program"]

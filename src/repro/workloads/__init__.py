@@ -57,6 +57,9 @@ AUX_WORKLOADS: dict[str, WorkloadSpec] = {
     "gcbench": WorkloadSpec(
         "gcbench", "gcbench.c",
         "Ellis/Kovac/Boehm GCBench: binary-tree allocation churn"),
+    "scratch": WorkloadSpec(
+        "scratch", "scratch.c",
+        "short-lived scratch buffers: allocation-sinking showcase"),
 }
 
 WORKLOAD_NAMES = tuple(WORKLOADS)

@@ -1,0 +1,60 @@
+/* scratch -- allocation-sinking showcase: a checksum kernel that burns
+ * through short-lived constant-size scratch buffers.  Every buffer is
+ * filled, reduced, and dead before the next allocation, so the
+ * escape-analysis sinking pass (postproc.sink) can rewrite every
+ * allocation in the hot loop to frame-local storage; with sinking off,
+ * the allocation volume forces regular collections.  Not part of the
+ * paper's tables; used by the sinking tests, benchmarks, and the
+ * check_vm_pgo CI gate to demonstrate reduced collections/live bytes.
+ *
+ * The `hold` array keeps a sliver of long-lived heap data so the
+ * collector has real marking work in the unsunk build.
+ */
+
+#define ROUNDS 30000
+#define WORDS 8
+#define KEEP 64
+
+int *hold[KEEP];
+
+int mix(int seed)
+{
+    int k;
+    int acc = seed;
+    int *buf = (int *) GC_malloc(WORDS * 4);
+    for (k = 0; k < WORDS; k++)
+        buf[k] = acc + k * 2654435761u;
+    for (k = 0; k < WORDS; k++)
+        acc = (acc ^ buf[k]) + (buf[k] >> 3);
+    return acc;
+}
+
+int sum2(int seed)
+{
+    int k;
+    int acc = 0;
+    int *a = (int *) GC_malloc(WORDS * 4);
+    int *b = (int *) a;            /* alias through cast: still sinks */
+    for (k = 0; k < WORDS; k++)
+        a[k] = seed ^ (k * 40503);
+    for (k = 0; k < WORDS; k++)
+        acc += b[k] & 0xFFFF;
+    return acc;
+}
+
+int main(void)
+{
+    int i;
+    int check = 0;
+    for (i = 0; i < KEEP; i++) {
+        hold[i] = (int *) GC_malloc(WORDS * 4);  /* escapes: stays heap */
+        hold[i][0] = i;
+    }
+    for (i = 0; i < ROUNDS; i++) {
+        check = check + mix(i) + sum2(check);
+        if ((i & 1023) == 0)
+            check += hold[i & (KEEP - 1)][0];
+    }
+    printf("check=%d\n", check);
+    return (check < 0 ? -check : check) % 251;
+}

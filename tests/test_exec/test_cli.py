@@ -128,4 +128,4 @@ class TestFuzzCLI:
         # The serial (cold) run populated the cache; the sharded re-run
         # compiles nothing — every lookup is a hit.
         assert "15 misses, 15 stores" in serial.err
-        assert "27 hits, 0 misses, 0 stores" in sharded.err
+        assert "42 hits, 0 misses, 0 stores" in sharded.err

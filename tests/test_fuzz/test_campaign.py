@@ -18,7 +18,8 @@ class TestCampaign:
         result = run_campaign(seed=0, iters=4, models=("ss10",))
         assert result.ok
         assert result.iterations == 4
-        assert result.cells == 4 * 9  # 5 plain (ref counted) + 4 adversarial
+        # 5 plain (ref counted) + 4 adversarial + 3 sink + 2 sink-adv
+        assert result.cells == 4 * 14
 
     @pytest.mark.fuzz
     @pytest.mark.slow

@@ -39,8 +39,9 @@ class TestMatrix:
         report = check_program(CLEAN_SRC)
         assert report.ok, report.describe()
         # 5 configs x 3 models plain (reference counted once) + 4
-        # adversarial cells on the primary model.
-        assert report.runs == 19
+        # adversarial + 3 sink + 2 sink-adversarial cells on the
+        # primary model.
+        assert report.runs == 24
 
     def test_compile_error_is_an_outcome(self):
         out = compile_and_run("int main(void { return 0; }", "O")

@@ -1,0 +1,187 @@
+"""Superinstruction tests: plan selection, persisted profiles, and the
+bit-identity guarantees fusion must uphold."""
+
+import json
+
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.machine import CompileConfig, VM, compile_source
+from repro.machine.models import MODELS
+from repro.machine.superinst import (
+    SuperinstPlan, load_pgo, plan_from_pgo, plan_from_profile, save_pgo,
+)
+from repro.machine.vm import VMError
+from repro.obs.vmprof import PGO_SCHEMA, VMProfile
+
+# Two hot loops (a leaf kernel called in a loop) — enough structure for
+# real fusion: self-looping inner blocks, calls that must not fuse, and
+# branches as early exits.
+PROGRAM = """
+int work(int n) {
+    int i;
+    int acc = 0;
+    for (i = 0; i < n; i++) acc = (acc + i * 3) & 0xFFFF;
+    return acc;
+}
+int main(void) {
+    int k;
+    int r = 0;
+    for (k = 0; k < 40; k++) r = (r + work(200) + k) & 0xFFFF;
+    printf("%d\\n", r);
+    return r & 0xFF;
+}
+"""
+
+
+def run_key(result):
+    """Everything observable about a run."""
+    return (result.exit_code, result.instructions, result.cycles,
+            result.output, result.collections, result.checks)
+
+
+def profiled_plan(config_name="O", model_key="ss10"):
+    """Compile PROGRAM, profile one run, return (compiled, plan)."""
+    model = MODELS[model_key]
+    compiled = compile_source(PROGRAM, CompileConfig.named(config_name, model))
+    profile = VMProfile()
+    VM(compiled.asm, model, profile=profile).run()
+    return compiled, plan_from_profile(profile)
+
+
+class TestEnvelope:
+    def test_round_trip(self, tmp_path):
+        _, plan = profiled_plan()
+        compiled, _ = profiled_plan()
+        profile = VMProfile(tag="t")
+        VM(compiled.asm, MODELS["ss10"], profile=profile).run()
+        doc = profile.to_pgo()
+        assert doc["schema"] == PGO_SCHEMA
+        path = str(tmp_path / "p.pgo.json")
+        save_pgo(doc, path)
+        loaded = load_pgo(path)
+        assert loaded == doc
+        assert plan_from_pgo(loaded) == plan_from_pgo(doc)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "something-else/9"}))
+        with pytest.raises(ValueError, match="not a repro-vmprof-pgo/1"):
+            load_pgo(str(path))
+
+    def test_save_rejects_wrong_schema(self, tmp_path):
+        with pytest.raises(ValueError, match="refusing"):
+            save_pgo({"schema": "nope"}, str(tmp_path / "x.json"))
+
+
+class TestPlan:
+    def test_selection_is_deterministic(self):
+        _, plan_a = profiled_plan()
+        _, plan_b = profiled_plan()
+        assert plan_a.blocks == plan_b.blocks
+        assert plan_a.digest() == plan_b.digest()
+
+    def test_digest_tracks_block_set(self):
+        a = SuperinstPlan(frozenset({("f", "entry")}))
+        b = SuperinstPlan(frozenset({("f", "entry"), ("g", ".L1")}))
+        assert a.digest() != b.digest()
+        assert a.digest().startswith("pgo-")
+
+    def test_empty_plan_is_falsy(self):
+        assert not SuperinstPlan(frozenset())
+        assert SuperinstPlan(frozenset({("f", "entry")}))
+
+    def test_min_share_floor_drops_cold_blocks(self):
+        doc = {
+            "schema": PGO_SCHEMA, "tag": "", "runs": 1,
+            "total_cycles": 1000, "total_instructions": 1000,
+            "blocks": [
+                {"function": "hot", "block": "entry", "cycles": 990,
+                 "instructions": 990},
+                {"function": "cold", "block": "entry", "cycles": 1,
+                 "instructions": 1},
+            ],
+        }
+        plan = plan_from_pgo(doc, min_share=0.01)
+        assert ("hot", "entry") in plan.blocks
+        assert ("cold", "entry") not in plan.blocks
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("model_key", ("ss2", "ss10", "p90"))
+    def test_fused_run_is_bit_identical(self, model_key):
+        model = MODELS[model_key]
+        compiled = compile_source(PROGRAM, CompileConfig.named("O", model))
+        _, plan = profiled_plan(model_key=model_key)
+        base = VM(compiled.asm, model).run()
+        fused_vm = VM(compiled.asm, model, superinst=plan)
+        fused = fused_vm.run()
+        assert fused_vm.superinst_stats is not None
+        assert fused_vm.superinst_stats.runs > 0
+        assert run_key(fused) == run_key(base)
+
+    def test_profiler_invariants_hold_under_fusion(self):
+        compiled, plan = profiled_plan()
+        profile = VMProfile()
+        result = VM(compiled.asm, MODELS["ss10"], superinst=plan,
+                    profile=profile).run()
+        assert profile.total_cycles == result.cycles
+        assert profile.total_instructions == result.instructions
+
+    def test_gc_interval_disables_fusion(self):
+        # The async-collection trigger must see every instruction
+        # boundary; fusion batches counter updates, so it turns off.
+        compiled, plan = profiled_plan()
+        vm = VM(compiled.asm, MODELS["ss10"], superinst=plan, gc_interval=64)
+        base = VM(compiled.asm, MODELS["ss10"], gc_interval=64).run()
+        fused = vm.run()
+        assert vm.superinst_stats is None
+        assert run_key(fused) == run_key(base)
+
+    @pytest.mark.parametrize("budget", (10, 997, 12345))
+    def test_budget_raise_is_equivalent(self, budget):
+        compiled, plan = profiled_plan()
+        model = MODELS["ss10"]
+
+        def run_with(superinst):
+            vm = VM(compiled.asm, model, superinst=superinst,
+                    max_instructions=budget)
+            try:
+                vm.run()
+            except VMError as exc:
+                return str(exc), vm._st[0]
+            return None, vm._st[0]
+
+        base_err, base_count = run_with(None)
+        fused_err, fused_count = run_with(plan)
+        assert base_err is not None, "budget chosen too large for the test"
+        assert fused_err == base_err
+        assert fused_count == base_count == budget + 1
+
+
+class TestCacheSalting:
+    def test_pgo_and_sink_salt_result_keys(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = CompileConfig.named("O")
+        _, plan = profiled_plan()
+        plain = cache.key_for(PROGRAM, config)
+        pgod = cache.key_for(PROGRAM, config, pgo=plan.digest())
+        sunk = cache.key_for(PROGRAM, config, sink=True)
+        both = cache.key_for(PROGRAM, config, pgo=plan.digest(), sink=True)
+        assert len({plain, pgod, sunk, both}) == 4
+
+    def test_default_knobs_leave_keys_unchanged(self, tmp_path):
+        # pgo=None / sink=False must address the same entry as a caller
+        # that never heard of either knob.
+        cache = ResultCache(str(tmp_path))
+        config = CompileConfig.named("O")
+        assert (cache.key_for(PROGRAM, config)
+                == cache.key_for(PROGRAM, config, pgo=None, sink=False))
+
+    def test_different_plans_different_keys(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = CompileConfig.named("O")
+        a = SuperinstPlan(frozenset({("work", "entry")}))
+        b = SuperinstPlan(frozenset({("main", "entry")}))
+        assert (cache.key_for(PROGRAM, config, pgo=a.digest())
+                != cache.key_for(PROGRAM, config, pgo=b.digest()))
