@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""CI gate: the perf-regression sentinel plus the disabled-path cost.
+
+Two checks, one command:
+
+1. **Sentinel** — validate every ``BENCH_*.json`` trajectory, measure
+   the workload fresh (min-of-N wall, repeated for determinism), and
+   compare against the recorded points: simulated counts must be
+   bit-identical, wall time must sit inside the median + MAD noise
+   bound (advisory unless ``--strict-wall``).  The verdict is a
+   ``repro-obs-sentinel/1`` envelope; ``--out`` persists it and
+   ``--metrics-out`` / ``--prom`` persist the metrics snapshot captured
+   during the fresh runs.
+
+2. **Overhead** — delegate to :mod:`check_obs_overhead`: with all
+   telemetry disabled (the default runtime state), HEAD must run the
+   workload within ``--threshold`` percent of ``--baseline``.  A
+   baseline that cannot be resolved (shallow clone) is a SKIP, not a
+   failure.
+
+    python benchmarks/check_sentinel.py --baseline origin/main
+    python benchmarks/check_sentinel.py --baseline HEAD~1 --repeats 3 \
+        --out sentinel-verdict.json --metrics-out obs-metrics.jsonl
+
+Exit codes: 0 both gates green, 1 sentinel verdict not ok, and the
+overhead gate's own code (1 above threshold, 2 count drift) otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+sys.path.insert(0, os.path.join(REPO, "benchmarks"))
+
+import check_obs_overhead  # noqa: E402  (needs benchmarks on sys.path)
+
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.obs.sentinel import (  # noqa: E402
+    default_trajectories, render_verdict, run_sentinel,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default="HEAD~1",
+                    help="git rev for the overhead gate (default: HEAD~1)")
+    ap.add_argument("--workload", default="cfrac")
+    ap.add_argument("--model", default="ss10")
+    ap.add_argument("--configs", default="O,O_safe,g,g_checked")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="fresh measurements per config (min-of-N wall)")
+    ap.add_argument("--wall-slack", type=float, default=0.5)
+    ap.add_argument("--mad-k", type=float, default=3.0)
+    ap.add_argument("--strict-wall", action="store_true",
+                    help="a wall-bound breach fails the gate (default: "
+                         "advisory — counts are the hard gate)")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="max disabled-path overhead in percent (default: 2)")
+    ap.add_argument("--append", action="store_true",
+                    help="append the accepted point to the trajectory")
+    ap.add_argument("--out", default=None, metavar="FILE",
+                    help="write the repro-obs-sentinel/1 verdict JSON")
+    ap.add_argument("--metrics-out", default=None, metavar="FILE",
+                    help="write the fresh-run metrics snapshot (JSONL)")
+    ap.add_argument("--prom", default=None, metavar="FILE",
+                    help="write the snapshot in Prometheus text format")
+    ap.add_argument("--skip-overhead", action="store_true",
+                    help="run only the sentinel half")
+    args = ap.parse_args(argv)
+
+    trajectories = default_trajectories(REPO)
+    if not trajectories:
+        print("FAIL: no BENCH_*.json trajectories found — the sentinel "
+              "has nothing to gate against")
+        return 1
+
+    configs = tuple(c.strip() for c in args.configs.split(",") if c.strip())
+    verdict = run_sentinel(
+        workload=args.workload, model=args.model, configs=configs,
+        repeats=args.repeats, trajectories=trajectories,
+        wall_slack=args.wall_slack, mad_k=args.mad_k,
+        strict_wall=args.strict_wall, append=args.append,
+        label="ci-sentinel")
+    print(render_verdict(verdict))
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(verdict, fh, indent=2, sort_keys=True)
+        print(f"verdict written to {args.out}")
+    if args.metrics_out or args.prom:
+        registry = MetricsRegistry()
+        registry.merge(verdict.get("metrics", {}).get("metrics", {}))
+        if args.metrics_out:
+            registry.write_jsonl(args.metrics_out, append=False)
+            print(f"metrics snapshot written to {args.metrics_out}")
+        if args.prom:
+            registry.write_prometheus(args.prom)
+            print(f"prometheus export written to {args.prom}")
+
+    if not verdict["ok"]:
+        return 1
+    if args.skip_overhead:
+        return 0
+    print(f"--- disabled-path overhead vs {args.baseline} ---", flush=True)
+    return check_obs_overhead.main([
+        "--baseline", args.baseline, "--workload", args.workload,
+        "--threshold", str(args.threshold),
+        "--repeats", str(max(args.repeats, 5)),
+    ])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,10 +36,13 @@ envelope (see docs/ARCHITECTURE.md for the schema registry).
 
 Every subcommand also accepts the telemetry flags ``--trace FILE``
 (write a JSONL trace of compile-pipeline spans, GC pauses, and VM runs;
-load in ``python -m repro.obs report`` or convert for chrome://tracing)
-and ``--profile`` (print the VM hot-spot table to stderr on exit);
-``cc`` and ``bench`` accept ``--cache-dir DIR`` to memoize compiles and
-executed benchmark cells across invocations.
+load in ``python -m repro.obs report`` or convert for chrome://tracing),
+``--profile`` (print the VM hot-spot table to stderr on exit), and
+``--metrics-out FILE`` (write a ``repro-obs-metrics/1`` snapshot of the
+run's counters/gauges/latency histograms — watch live with
+``python -m repro.obs top FILE``); ``cc`` and ``bench`` accept
+``--cache-dir DIR`` to memoize compiles and executed benchmark cells
+across invocations.
 """
 
 from __future__ import annotations
@@ -158,6 +161,9 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
                    help="write a JSONL telemetry trace of this run")
     p.add_argument("--profile", action="store_true",
                    help="print the VM hot-spot profile to stderr")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write a repro-obs-metrics/1 snapshot of this run "
+                        "(JSONL; a .prom path gets Prometheus text format)")
 
 
 def _add_cache_args(p: argparse.ArgumentParser) -> None:
@@ -236,6 +242,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     trace_file = getattr(args, "trace", None)
     profile_on = getattr(args, "profile", False)
+    # chaos resets the obs runtime internally (two-phase run), so it
+    # wires --metrics-out itself in cmd_chaos.
+    metrics_out = (getattr(args, "metrics_out", None)
+                   if args.command != "chaos" else None)
     # cache manages tiers explicitly; chaos builds its own throwaway root
     cache_dir = (resolve_cache_dir(getattr(args, "cache_dir", None))
                  if args.command not in ("cache", "chaos") else None)
@@ -248,6 +258,8 @@ def main(argv: list[str] | None = None) -> int:
         obs_runtime.enable_tracing()
     if profile_on:
         obs_runtime.enable_profiling()
+    if metrics_out:
+        obs_runtime.enable_metrics(out=metrics_out)
     try:
         return args.fn(args)
     except (CFrontError, VMError) as exc:
@@ -263,6 +275,12 @@ def main(argv: list[str] | None = None) -> int:
         profile = obs_runtime.session_profile()
         if profile_on and profile is not None and profile.funcs:
             print(profile.render_report(), file=sys.stderr)
+        if metrics_out:
+            metrics = obs_runtime.get_metrics()
+            if metrics is not None:
+                metrics.flush()
+                print(f"! metrics written to {metrics_out}", file=sys.stderr)
+            obs_runtime.disable_metrics()
         if trace_file or profile_on:
             obs_runtime.reset()
         for cache in caches:

@@ -167,6 +167,7 @@ class _DiskCache:
         """Load + verify one entry; corrupt entries are evicted."""
         if self._breaker_open:
             self.stats.misses += 1
+            self._count_metric("cache.misses")
             return None
         path = self._path(key)
         try:
@@ -175,6 +176,7 @@ class _DiskCache:
         except OSError:
             self.stats.misses += 1
             self._instant("cache.miss", key)
+            self._count_metric("cache.misses")
             return None
         blob = resil_inject.filter_cache_read(self.kind, blob)
         payload = self._verified_payload(blob)
@@ -182,6 +184,7 @@ class _DiskCache:
             self._evict(path, key)
             self.stats.misses += 1
             self._note_corrupt()
+            self._count_metric("cache.misses")
             return None
         try:
             value = pickle.loads(payload)
@@ -189,10 +192,12 @@ class _DiskCache:
             self._evict(path, key)
             self.stats.misses += 1
             self._note_corrupt()
+            self._count_metric("cache.misses")
             return None
         self.stats.hits += 1
         self._corrupt_streak = 0
         self._instant("cache.hit", key)
+        self._count_metric("cache.hits")
         return value
 
     def put(self, key: str, value: Any) -> None:
@@ -216,11 +221,13 @@ class _DiskCache:
             self._cleanup_tmp(tmp)
             self.stats.write_errors += 1
             self._instant("cache.write_error", key)
+            self._count_metric("cache.write_errors")
             return
         except BaseException:
             self._cleanup_tmp(tmp)
             raise
         self.stats.stores += 1
+        self._count_metric("cache.stores")
 
     @staticmethod
     def _cleanup_tmp(tmp: str | None) -> None:
@@ -238,10 +245,12 @@ class _DiskCache:
 
     def _note_corrupt(self) -> None:
         self._corrupt_streak += 1
+        self._count_metric("cache.corrupt_reads")
         if (not self._breaker_open
                 and self._corrupt_streak >= self.breaker_threshold):
             self._breaker_open = True
             self.stats.breaker_trips += 1
+            self._count_metric("cache.breaker_trips")
             tracer = obs_runtime.get_tracer()
             if tracer.enabled:
                 tracer.instant("cache.breaker_trip", kind=self.kind,
@@ -274,11 +283,22 @@ class _DiskCache:
             pass
         self.stats.corrupt_evicted += 1
         self._instant("cache.evict", key)
+        self._count_metric("cache.evictions")
 
     def _instant(self, name: str, key: str) -> None:
         tracer = obs_runtime.get_tracer()
         if tracer.enabled:
             tracer.instant(name, kind=self.kind, key=key[:16])
+
+    def _count_metric(self, name: str) -> None:
+        """Bump the per-tier counter on the active metrics registry.
+
+        Cache outcomes are pure functions of disk content, so absent
+        injected faults the counters are deterministic (det=True) and
+        merge exactly across engine shards."""
+        metrics = obs_runtime.get_metrics()
+        if metrics is not None:
+            metrics.counter(name, tier=self.kind).inc()
 
     # -- maintenance -------------------------------------------------------
 

@@ -67,6 +67,8 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
+from ..obs import clock as obs_clock
+from ..obs import metrics as obs_metrics
 from ..obs import runtime as obs_runtime
 from ..resil import inject as resil_inject
 from . import cache as cache_mod
@@ -219,52 +221,89 @@ def plan_shards(payloads: Sequence[Any], workers: int) -> ShardPlan:
 def _run_inline(plan: ShardPlan,
                 fn: Callable[[Any], Any]) -> MergedRun:
     merged = MergedRun(results=[None] * plan.total, workers=1)
+    tracer = obs_runtime.get_tracer()
+    metrics = obs_runtime.get_metrics()
+    clock = obs_clock.get_clock()
+    run_t0 = clock() if metrics is not None else 0
     for shard in plan.shards:  # one shard when planned with workers=1
         for task in shard:
-            try:
-                merged.results[task.index] = fn(task.payload)
-            except Exception as exc:  # containment parity with workers
-                merged.task_failures.append(
-                    TaskFailure(task.index, 0, f"{type(exc).__name__}: {exc}"))
+            t0 = clock() if metrics is not None else 0
+            with tracer.span("exec.task", index=task.index, shard=0) as sp:
+                try:
+                    merged.results[task.index] = fn(task.payload)
+                except Exception as exc:  # containment parity with workers
+                    merged.task_failures.append(
+                        TaskFailure(task.index, 0,
+                                    f"{type(exc).__name__}: {exc}"))
+                    sp.set(error=type(exc).__name__)
+                    if metrics is not None:
+                        metrics.counter("exec.task_errors", det=False).inc()
+            if metrics is not None:
+                _observe_task(metrics, t0 - run_t0, clock() - t0)
     return merged
+
+
+def _observe_task(metrics, queue_wait_ns: int, task_wall_ns: int) -> None:
+    """Per-task engine metrics, identical for inline and worker paths.
+    All exec.* metrics are wall-clock (det=False): serial runs bypass
+    the engine entirely, so they can never be part of the deterministic
+    worker-count-invariant snapshot."""
+    metrics.counter("exec.tasks", det=False).inc()
+    metrics.histogram("exec.queue_wait_ns").observe(max(queue_wait_ns, 0))
+    metrics.histogram("exec.task_wall_ns").observe(max(task_wall_ns, 0))
 
 
 def _worker_main(tasks: list[Task], fn: Callable[[Any], Any],
                  tracing: bool, conn, shard: int = 0,
-                 attempt: int = 0) -> None:
+                 attempt: int = 0, metrics_on: bool = False) -> None:
     """Worker entry point: run the shard, streaming results home.
 
     Runs in a forked child.  A fresh tracer is installed so the shard
     records only its own events (the fork inherited the parent's), and
-    cache stats are zeroed so the final report is this shard's delta.
-    ``Connection.send`` is synchronous — a completed task's result is in
-    the pipe before the next task starts, so even a worker that dies
-    mid-shard loses only its *unreported* tasks.
+    cache stats are zeroed so the final report is this shard's delta;
+    likewise a fresh metrics registry records only this shard's
+    observations, shipped home in the final message and merged like
+    cache stats.  ``Connection.send`` is synchronous — a completed
+    task's result is in the pipe before the next task starts, so even a
+    worker that dies mid-shard loses only its *unreported* tasks.
     """
     if tracing:
         obs_runtime.enable_tracing()
     else:
         obs_runtime.disable_tracing()
+    metrics = (obs_runtime.set_metrics(obs_metrics.MetricsRegistry())
+               if metrics_on else obs_runtime.set_metrics(None))
+    tracer = obs_runtime.get_tracer()
     for cache in cache_mod.active_caches():
         cache.stats = cache_mod.CacheStats()
     resil_inject.worker_started(shard, attempt)
     send = resil_inject.wrap_send(conn)
+    clock = obs_clock.get_clock()
+    worker_t0 = clock() if metrics is not None else 0
     sent = 0
     for task in tasks:
         resil_inject.on_task_start(task.index)
-        try:
-            result = fn(task.payload)
-        except Exception as exc:
-            send(("error", task.index, f"{type(exc).__name__}: {exc}"))
-        else:
-            send(("result", task.index, result))
+        t0 = clock() if metrics is not None else 0
+        with tracer.span("exec.task", index=task.index, shard=shard) as sp:
+            try:
+                result = fn(task.payload)
+            except Exception as exc:
+                send(("error", task.index, f"{type(exc).__name__}: {exc}"))
+                sp.set(error=type(exc).__name__)
+                if metrics is not None:
+                    metrics.counter("exec.task_errors", det=False).inc()
+            else:
+                send(("result", task.index, result))
+        if metrics is not None:
+            _observe_task(metrics, t0 - worker_t0, clock() - t0)
         sent += 1
         resil_inject.on_task_reported(sent)
     events = ([e.to_json() for e in obs_runtime.get_tracer().sorted_events()]
               if tracing else [])
     stats = {kind: cache.stats.to_dict()
              for kind, cache in cache_mod.active_caches_by_kind().items()}
-    send(("done", events, stats))
+    send(("done", events, stats,
+          metrics.to_dict() if metrics is not None else {}))
     conn.close()
 
 
@@ -283,8 +322,14 @@ def run_sharded(payloads: Sequence[Any], fn: Callable[[Any], Any],
     """
     payloads = list(payloads)
     tracer = obs_runtime.get_tracer()
+    metrics = obs_runtime.get_metrics()
     if policy is None:
         policy = _default_policy
+    if metrics is not None:
+        metrics.counter("exec.runs", det=False).inc()
+        metrics.counter("exec.tasks_total", det=False).inc(len(payloads))
+        metrics.gauge("exec.workers").set(max(1, min(int(workers),
+                                                     len(payloads) or 1)))
     if workers <= 1:
         with tracer.span(f"{label}.run_sharded", workers=1,
                          tasks=len(payloads), inline=True):
@@ -312,6 +357,7 @@ class _ShardState:
     errors: list[tuple[int, str]] = field(default_factory=list)
     events: list[dict] = field(default_factory=list)
     cache_stats: dict | None = None
+    metrics: dict | None = None   # the worker registry's to_dict()
     completed: bool = False       # sent its "done" message
     death_reason: str | None = None
 
@@ -345,6 +391,8 @@ def _handle_message(msg: tuple, st: _ShardState) -> bool:
     elif kind == "done":
         st.events = msg[1]
         st.cache_stats = msg[2]
+        # Older/foreign workers may send the 3-element form.
+        st.metrics = msg[3] if len(msg) > 3 else None
         st.completed = True
         return True
     return False
@@ -352,8 +400,8 @@ def _handle_message(msg: tuple, st: _ShardState) -> bool:
 
 def _run_pool_once(round_shards: list[tuple[int, list[Task]]],
                    fn: Callable[[Any], Any], tracing: bool, attempt: int,
-                   deadline: float | None,
-                   policy: ResilPolicy) -> tuple[list[_ShardState], bool]:
+                   deadline: float | None, policy: ResilPolicy,
+                   metrics_on: bool = False) -> tuple[list[_ShardState], bool]:
     """Run one round of workers; returns shard states + timed-out flag."""
     ctx = multiprocessing.get_context("fork")
     states: list[_ShardState] = []
@@ -363,7 +411,7 @@ def _run_pool_once(round_shards: list[tuple[int, list[Task]]],
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         p = ctx.Process(target=_worker_main,
                         args=(tasks, fn, tracing, child_conn, shard_id,
-                              attempt),
+                              attempt, metrics_on),
                         daemon=True)
         p.start()
         child_conn.close()  # parent's copy — else EOF never arrives
@@ -426,13 +474,15 @@ def _run_pool_once(round_shards: list[tuple[int, list[Task]]],
 
 
 def _run_pinned(task: Task, fn: Callable[[Any], Any], tracing: bool,
-                timeout_s: float | None) -> _ShardState:
+                timeout_s: float | None,
+                metrics_on: bool = False) -> _ShardState:
     """Run one task alone in a dedicated process (attempt=-1: injected
     pool faults are disarmed; genuine poison still fires)."""
     ctx = multiprocessing.get_context("fork")
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     p = ctx.Process(target=_worker_main,
-                    args=([task], fn, tracing, child_conn, -1, -1),
+                    args=([task], fn, tracing, child_conn, -1, -1,
+                          metrics_on),
                     daemon=True)
     p.start()
     child_conn.close()
@@ -469,6 +519,13 @@ def _run_resilient(plan: ShardPlan, fn: Callable[[Any], Any],
                    policy: ResilPolicy) -> MergedRun:
     tracer = obs_runtime.get_tracer()
     tracing = tracer.enabled
+    metrics = obs_runtime.get_metrics()
+    metrics_on = metrics is not None
+
+    def count(name: str, n: int = 1) -> None:
+        if metrics is not None and n:
+            metrics.counter(name, det=False).inc(n)
+
     deadline = None if timeout is None else time.monotonic() + timeout
 
     home_shard = {t.index: s for s, shard in enumerate(plan.shards)
@@ -509,9 +566,12 @@ def _run_resilient(plan: ShardPlan, fn: Callable[[Any], Any],
                             for s, tasks in enumerate(replan.shards) if tasks]
             retries += len(todo)
             tracer.instant("resil.retry", attempt=attempt, tasks=len(todo))
+            count("exec.retries", len(todo))
         rounds += 1
+        count("exec.rounds")
         states, timed_out = _run_pool_once(round_shards, fn, tracing,
-                                           attempt, deadline, policy)
+                                           attempt, deadline, policy,
+                                           metrics_on)
         all_states.extend(states)
         # Fold in deterministic shard order.
         for st in states:
@@ -526,6 +586,7 @@ def _run_resilient(plan: ShardPlan, fn: Callable[[Any], Any],
             missing = [i for i in st.missing() if i in pending]
             if st.death_reason in _DEAD_REASONS:
                 worker_deaths += 1
+                count("exec.worker_deaths")
                 culprit = missing[0] if missing else None
                 tracer.instant("resil.worker_lost", shard=st.shard,
                                attempt=attempt, reason=st.death_reason,
@@ -537,6 +598,7 @@ def _run_resilient(plan: ShardPlan, fn: Callable[[Any], Any],
                 if (culprit is not None
                         and death_counts[culprit] >= policy.max_task_deaths):
                     quarantine[culprit] = pending.pop(culprit)
+                    count("exec.quarantined")
                     tracer.instant("resil.quarantine", index=culprit,
                                    deaths=death_counts[culprit])
             elif st.death_reason == "timed out":
@@ -547,6 +609,7 @@ def _run_resilient(plan: ShardPlan, fn: Callable[[Any], Any],
                 # the pipe.  Retry them — no death to attribute.
                 tracer.instant("resil.dropped_messages", shard=st.shard,
                                attempt=attempt, count=len(missing))
+                count("exec.dropped_messages", len(missing))
                 for idx in missing:
                     lost_reason[idx] = "message dropped"
 
@@ -556,7 +619,7 @@ def _run_resilient(plan: ShardPlan, fn: Callable[[Any], Any],
     pinned_states: list[_ShardState] = []
 
     def run_pinned(task: Task, context: str) -> None:
-        st = _run_pinned(task, fn, tracing, policy.task_timeout)
+        st = _run_pinned(task, fn, tracing, policy.task_timeout, metrics_on)
         pinned_states.append(st)
         idx = task.index
         if idx in st.results:
@@ -584,6 +647,7 @@ def _run_resilient(plan: ShardPlan, fn: Callable[[Any], Any],
             merged.quarantined.append(idx)
         if pending and policy.serial_fallback:
             merged.degraded = True
+            count("exec.degraded")
             tracer.instant("resil.degraded", tasks=len(pending))
             for idx in sorted(pending):
                 run_pinned(pending.pop(idx), "serial fallback")
@@ -611,4 +675,9 @@ def _run_resilient(plan: ShardPlan, fn: Callable[[Any], Any],
                 cache = cache_mod.active_cache(kind)
                 if cache is not None:
                     cache.stats.merge(stats)
+        if st.metrics and metrics is not None:
+            metrics.merge(st.metrics)
+            metrics.counter("exec.shard_tasks", det=False,
+                            shard=str(st.shard)).inc(
+                len(st.results) + len(st.errors))
     return merged

@@ -19,12 +19,12 @@ semantic difference).
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from ..exec.engine import run_sharded
 from ..gc.collector import GCStats
+from ..obs import clock as obs_clock
 from ..obs import runtime as obs_runtime
 from .gen import GenOptions, generate_program
 from .oracle import OracleReport, check_program, mismatch_predicate
@@ -107,7 +107,7 @@ def _iteration_worker(payload: tuple) -> dict:
     (program_seed, k, models, adv_interval, do_reduce,
      max_instructions, gen_options) = payload
     tracer = obs_runtime.get_tracer()
-    clock = time.perf_counter_ns
+    clock = obs_clock.get_clock()
     record: dict = {"k": k, "seed": program_seed, "reduce_ns": 0}
     with tracer.span("fuzz.iteration", seed=program_seed, index=k) as isp:
         t0 = clock()
@@ -164,6 +164,7 @@ def run_campaign(seed: int, iters: int,
     """
     log = log or (lambda msg: None)
     result = CampaignResult(seed=seed, workers=max(1, workers))
+    metrics = obs_runtime.get_metrics()
     gen_ns = oracle_ns = reduce_ns = 0
 
     payloads = [(seed + k, k, tuple(models), adv_interval, reduce,
@@ -180,6 +181,13 @@ def run_campaign(seed: int, iters: int,
         oracle_ns += record["oracle_ns"]
         reduce_ns += record["reduce_ns"]
         finding = record["finding"]
+        if metrics is not None:
+            # Folded in the parent over in-order records, so these
+            # counters are identical for any worker count.
+            metrics.counter("fuzz.iterations").inc()
+            metrics.counter("fuzz.cells").inc(record["cells"])
+            if finding is not None:
+                metrics.counter("fuzz.findings").inc()
         if finding is not None:
             result.findings.append(finding)
             if out_dir:
@@ -193,6 +201,8 @@ def run_campaign(seed: int, iters: int,
         elif progress_every and (k + 1) % progress_every == 0:
             log(f"[{k + 1}/{iters}] ok — {result.cells} cells checked, "
                 f"0 mismatches")
+            if metrics is not None:
+                metrics.flush()  # keep `repro obs top` live mid-campaign
         return False
 
     resil_summary = None
@@ -226,4 +236,7 @@ def run_campaign(seed: int, iters: int,
     tracer = obs_runtime.get_tracer()
     if tracer.enabled:
         tracer.instant("fuzz.campaign", **result.telemetry, seed=seed)
+    if metrics is not None:
+        metrics.flush()
+        result.telemetry["metrics"] = metrics.to_dict()
     return result

@@ -11,9 +11,11 @@
     python -m repro.fuzz --replay prog.c
         Run one existing program through the full oracle (for triage).
 
-``--trace FILE`` / ``--profile`` attach the repro.obs telemetry layer:
-the trace records per-stage campaign timings and every compile/GC/VM
-event; the profile aggregates VM hot spots across all oracle cells.
+``--trace FILE`` / ``--profile`` / ``--metrics-out FILE`` attach the
+repro.obs telemetry layer: the trace records per-stage campaign timings
+and every compile/GC/VM event; the profile aggregates VM hot spots
+across all oracle cells; the metrics snapshot captures campaign-wide
+counters and latency histograms (watch with ``repro obs top FILE``).
 """
 
 from __future__ import annotations
@@ -79,6 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a JSONL telemetry trace of the campaign")
     p.add_argument("--profile", action="store_true",
                    help="print the aggregate VM hot-spot profile to stderr")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write a repro-obs-metrics/1 snapshot of the "
+                        "campaign (JSONL; .prom gets Prometheus text)")
     p.add_argument("--quiet", action="store_true")
     return p
 
@@ -140,6 +145,8 @@ def main(argv: list[str] | None = None) -> int:
         obs_runtime.enable_tracing()
     if args.profile:
         obs_runtime.enable_profiling()
+    if args.metrics_out:
+        obs_runtime.enable_metrics(out=args.metrics_out)
     try:
         if args.rebreak_addrfold:
             from .brokenpass import rebroken_addrfold
@@ -155,6 +162,13 @@ def main(argv: list[str] | None = None) -> int:
         profile = obs_runtime.session_profile()
         if args.profile and profile is not None and profile.funcs:
             print(profile.render_report(), file=sys.stderr)
+        if args.metrics_out:
+            metrics = obs_runtime.get_metrics()
+            if metrics is not None:
+                metrics.flush()
+                print(f"! metrics written to {args.metrics_out}",
+                      file=sys.stderr)
+            obs_runtime.disable_metrics()
         if args.trace or args.profile:
             obs_runtime.reset()
         for cache in caches:

@@ -16,13 +16,13 @@ Semantics follow the paper's "Compiler Safety Problem Statement":
 from __future__ import annotations
 
 import struct
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from .heap import Heap, PageDescriptor
 from .memory import HEAP_BASE, Memory, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE
 from ..cfront.ctypes import WORD_SIZE
+from ..obs import clock as obs_clock
 from ..obs import runtime as obs_runtime
 
 
@@ -57,6 +57,13 @@ class GCStats:
     # (bucket b holds requests of 2**(b-1) .. 2**b - 1 bytes); populated
     # only while tracing is enabled.
     alloc_histogram: dict[int, int] = field(default_factory=dict)
+    # Pause-duration histograms, bucketed by ``pause_ns.bit_length()``
+    # (same power-of-two scheme).  ``pause_histogram`` is maintained on
+    # both collect paths — it is pure integer bookkeeping, one
+    # bit_length per collection; ``sweep_histogram`` needs the phase
+    # clock and is populated only on the instrumented path.
+    pause_histogram: dict[int, int] = field(default_factory=dict)
+    sweep_histogram: dict[int, int] = field(default_factory=dict)
 
     def reset(self) -> None:
         """Zero every counter (fresh measurement window)."""
@@ -68,12 +75,21 @@ class GCStats:
     # a sharded campaign runs its collectors in worker processes, so
     # aggregate accounting needs an explicit, serializable merge.
 
+    # Dict-valued fields that merge keywise instead of additively.
+    _HISTOGRAM_FIELDS = ("alloc_histogram", "pause_histogram",
+                         "sweep_histogram")
+
     def to_dict(self) -> dict:
-        """JSON/pickle-safe snapshot of every counter."""
+        """JSON/pickle-safe snapshot of every counter.  Empty histograms
+        are elided so an untouched window serializes identically whether
+        or not its fields were ever registered."""
         d = {name: getattr(self, name)
              for name in self.__dataclass_fields__
-             if name != "alloc_histogram"}
-        d["alloc_histogram"] = dict(self.alloc_histogram)
+             if name not in self._HISTOGRAM_FIELDS}
+        for name in self._HISTOGRAM_FIELDS:
+            hist = getattr(self, name)
+            if hist:
+                d[name] = dict(hist)
         return d
 
     @staticmethod
@@ -93,11 +109,11 @@ class GCStats:
         """
         d = other.to_dict() if isinstance(other, GCStats) else other
         for name, value in d.items():
-            if name == "alloc_histogram":
+            if name in self._HISTOGRAM_FIELDS:
+                hist = getattr(self, name)
                 for bucket, count in value.items():
                     bucket = int(bucket)
-                    self.alloc_histogram[bucket] = (
-                        self.alloc_histogram.get(bucket, 0) + count)
+                    hist[bucket] = hist.get(bucket, 0) + count
             elif name == "max_pause_ns":
                 self.max_pause_ns = max(self.max_pause_ns, value)
             else:
@@ -206,31 +222,40 @@ class Collector:
     def collect(self) -> int:
         """Run a full mark-sweep collection; return objects reclaimed."""
         stats = self.stats
-        if not self.tracer.enabled:
+        metrics = obs_runtime.get_metrics()
+        if not self.tracer.enabled and metrics is None:
             stats.collections += 1
-            t0 = time.perf_counter_ns()
+            clock = obs_clock.get_clock()
+            t0 = clock()
             self._mark()
             reclaimed = self._sweep()
-            pause_ns = time.perf_counter_ns() - t0
+            pause_ns = clock() - t0
             stats.gc_pause_ns += pause_ns
             stats.max_pause_ns = max(stats.max_pause_ns, pause_ns)
+            bucket = max(pause_ns, 1).bit_length()
+            hist = stats.pause_histogram
+            hist[bucket] = hist.get(bucket, 0) + 1
             stats.live_bytes = self.heap.bytes_in_use
             stats.live_objects = self.heap.objects_in_use
             self._allocated_since_gc = 0
             self._threshold = max(self._threshold, 2 * self.heap.bytes_in_use)
             return reclaimed
-        return self._collect_traced()
+        # Metrics-only runs route through the instrumented path too: a
+        # disabled tracer's spans are NULL_SPAN no-ops, so only the
+        # phase-clock reads and metric observations are added.
+        return self._collect_traced(metrics)
 
-    def _collect_traced(self) -> int:
+    def _collect_traced(self, metrics=None) -> int:
         """Traced variant of :meth:`collect`: identical collection
         semantics, plus a ``gc.collect`` span with the pause broken down
-        into root-scan / mark / sweep, and heap-timeline counters."""
+        into root-scan / mark / sweep, heap-timeline counters, and —
+        when a metrics registry is active — pause/phase histograms."""
         stats = self.stats
         tracer = self.tracer
         alloc_since = self._allocated_since_gc
         stats.collections += 1
         with tracer.span("gc.collect", number=stats.collections) as sp:
-            clock = time.perf_counter_ns
+            clock = obs_clock.get_clock()
             phases: dict[str, int] = {}
             t0 = clock()
             self._mark(phases)
@@ -251,6 +276,10 @@ class Collector:
             stats.mark_ns += mark_ns
             stats.sweep_ns += sweep_ns
             stats.max_pause_ns = max(stats.max_pause_ns, pause_ns)
+            for hist, value in ((stats.pause_histogram, pause_ns),
+                                (stats.sweep_histogram, sweep_ns)):
+                bucket = max(value, 1).bit_length()
+                hist[bucket] = hist.get(bucket, 0) + 1
 
             page_bytes = sum(d.n_pages for d in self.heap.all_pages) * PAGE_SIZE
             live = self.heap.bytes_in_use
@@ -268,6 +297,17 @@ class Collector:
         tracer.counter("gc.page_bytes", page_bytes)
         tracer.counter("gc.fragmentation", round(fragmentation, 4))
         tracer.counter("gc.pause_ns", pause_ns)
+        if metrics is not None:
+            # Deterministic counters (simulated quantities) ...
+            metrics.counter("gc.collections").inc()
+            metrics.counter("gc.objects_reclaimed").inc(reclaimed)
+            # ... and wall-clock phase histograms (det=False).
+            metrics.histogram("gc.pause_ns").observe(pause_ns)
+            metrics.histogram("gc.root_scan_ns").observe(root_scan_ns)
+            metrics.histogram("gc.mark_ns").observe(mark_ns)
+            metrics.histogram("gc.sweep_ns").observe(sweep_ns)
+            metrics.gauge("gc.live_bytes").set(live)
+            metrics.gauge("gc.live_objects").set(self.heap.objects_in_use)
         return reclaimed
 
     def _mark(self, phases: dict[str, int] | None = None) -> None:
@@ -334,14 +374,15 @@ class Collector:
                 if addr + WORD_SIZE > chunk_end:
                     addr = page_end
 
-        t0 = time.perf_counter_ns() if phases is not None else 0
+        clock = obs_clock.get_clock() if phases is not None else None
+        t0 = clock() if clock is not None else 0
         for root in self._all_root_ranges():
             scan_words(root.start, root.end, True)
         for provider in self.dynamic_root_providers:
             for value in provider():
                 consider(value, True)
-        if phases is not None:
-            phases["root_scan_ns"] = time.perf_counter_ns() - t0
+        if clock is not None:
+            phases["root_scan_ns"] = clock() - t0
 
         while worklist:
             base, size = worklist.pop()

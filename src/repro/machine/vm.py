@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 
 from ..gc.collector import Collector, GCCheckError, RootRange
 from ..gc.memory import Memory, MemoryFault, PAGE_SIZE, STACK_TOP, STATIC_BASE
+from ..obs import clock as obs_clock
+from ..obs import metrics as obs_metrics
 from ..obs import runtime as obs_runtime
 from ..obs.vmprof import CHECK_BUILTINS, VMProfile
 from .asm import ALU_OPS, ARG_REGS, BRANCH_OPS, FP, MInst, MProgram, RV, SCRATCH, SP, UNARY_OPS
@@ -685,6 +687,11 @@ class VM:
         if self._profile is not None:
             self._profile.func_cell(entry)[2] += 1
         tracer = obs_runtime.get_tracer()
+        # Metrics are sampled at run() granularity only: per-instruction
+        # observation would dominate the dispatch loop, and the disabled
+        # path must stay one ``is None`` test.
+        metrics = obs_runtime.get_metrics()
+        t0_ns = obs_clock.now_ns() if metrics is not None else 0
         span = tracer.span("vm.run", entry=entry, model=self.model.name,
                            gc_interval=self.gc_interval)
         with span:
@@ -701,6 +708,19 @@ class VM:
                      instructions=result.instructions - start_insts,
                      cycles=result.cycles - start_cycles,
                      collections=result.collections, checks=result.checks)
+        if metrics is not None:
+            cycles = result.cycles - start_cycles
+            metrics.counter("vm.runs").inc()
+            metrics.counter("vm.instructions").inc(
+                result.instructions - start_insts)
+            metrics.counter("vm.cycles").inc(cycles)
+            metrics.counter("vm.collections").inc(result.collections)
+            metrics.counter("vm.checks").inc(result.checks)
+            metrics.histogram("vm.run_cycles",
+                              bounds=obs_metrics.COUNT_BUCKETS,
+                              det=True).observe(cycles)
+            metrics.histogram("vm.run_wall_ns").observe(
+                obs_clock.now_ns() - t0_ns)
         if self._profile is not None:
             self._profile.runs += 1
         return result

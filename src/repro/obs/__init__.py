@@ -1,31 +1,51 @@
-"""Observability layer: structured tracing, GC/heap timelines, VM
-hot-spot profiling, and the ``python -m repro.obs`` reporting CLI.
+"""Observability layer: structured tracing, typed metrics, GC/heap
+timelines, VM hot-spot profiling, and the ``python -m repro.obs``
+reporting CLI.
 
 Leaf modules (importable from anywhere, stdlib-only):
 
+* :mod:`repro.obs.clock` — the single injectable ns clock behind every
+  obs timestamp.
 * :mod:`repro.obs.tracer` — the event model and JSONL/Chrome exporters.
+* :mod:`repro.obs.metrics` — counters/gauges/fixed-bucket histograms
+  with deterministic snapshots and percentiles.
 * :mod:`repro.obs.vmprof` — the VM cycle-attribution profile.
-* :mod:`repro.obs.runtime` — process-wide tracer/profiler lookup.
+* :mod:`repro.obs.runtime` — process-wide tracer/metrics/profiler
+  lookup.
 
 Higher layers (import the compiler/VM; never imported by them):
 
 * :mod:`repro.obs.report` — trace summarization and text rendering.
-* :mod:`repro.obs.cli` — ``record`` / ``report`` / ``trajectory``.
+* :mod:`repro.obs.sentinel` — trajectory validation and the
+  perf-regression sentinel.
+* :mod:`repro.obs.cli` — ``record`` / ``report`` / ``trajectory`` /
+  ``top`` / ``sentinel``.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and workflows.
 """
 
+from .clock import clock_context, get_clock, now_ns, set_clock
+from .metrics import (
+    COUNT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry,
+    TIME_BUCKETS_NS,
+)
+from .metrics import SCHEMA as METRICS_SCHEMA
 from .runtime import (
-    disable_profiling, disable_tracing, enable_profiling, enable_tracing,
-    get_tracer, profiling_enabled, session_profile, set_tracer,
-    tracing_enabled,
+    disable_metrics, disable_profiling, disable_tracing, enable_metrics,
+    enable_profiling, enable_tracing, get_metrics, get_tracer,
+    metrics_enabled, profiling_enabled, session_profile, set_metrics,
+    set_tracer, tracing_enabled,
 )
 from .tracer import SCHEMA, Span, TraceEvent, Tracer, load_jsonl
 from .vmprof import CHECK_BUILTINS, VMProfile
 
 __all__ = [
-    "disable_profiling", "disable_tracing", "enable_profiling",
-    "enable_tracing", "get_tracer", "profiling_enabled", "session_profile",
-    "set_tracer", "tracing_enabled", "SCHEMA", "Span", "TraceEvent",
-    "Tracer", "load_jsonl", "CHECK_BUILTINS", "VMProfile",
+    "clock_context", "get_clock", "now_ns", "set_clock",
+    "COUNT_BUCKETS", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "TIME_BUCKETS_NS", "METRICS_SCHEMA",
+    "disable_metrics", "disable_profiling", "disable_tracing",
+    "enable_metrics", "enable_profiling", "enable_tracing", "get_metrics",
+    "get_tracer", "metrics_enabled", "profiling_enabled", "session_profile",
+    "set_metrics", "set_tracer", "tracing_enabled", "SCHEMA", "Span",
+    "TraceEvent", "Tracer", "load_jsonl", "CHECK_BUILTINS", "VMProfile",
 ]

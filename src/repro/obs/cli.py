@@ -22,6 +22,19 @@
     python -m repro.obs trajectory --workload cfrac --out BENCH_obs.json
         Run every config, append one perf-trajectory point (cycles,
         wall time, GC pause totals per config) to the trajectory file.
+
+    python -m repro.obs trajectory --check [FILES...]
+        Schema-validate every BENCH_*.json trajectory; exits non-zero
+        on malformed or empty files.
+
+    python -m repro.obs top obs-metrics.jsonl [--interval 2] [--once]
+        Watch live metrics snapshots (counters, gauges, histogram
+        percentiles) appended by a run started with --metrics-out.
+
+    python -m repro.obs sentinel --workload cfrac [--strict-wall] [--append]
+        Fresh min-of-N measurement compared against the BENCH_*.json
+        trajectories: bit-exact counts, MAD-bounded wall times; emits a
+        repro-obs-sentinel/1 verdict.
 """
 
 from __future__ import annotations
@@ -31,8 +44,12 @@ import json
 import sys
 import time
 
+from . import clock as obs_clock
 from . import runtime
+from .metrics import load_snapshot, render_snapshot
 from .report import render_text, summarize
+from .sentinel import (TRAJECTORY_SCHEMA, default_trajectories,
+                       render_verdict, run_sentinel, validate_trajectories)
 from .tracer import load_jsonl
 from .vmprof import PGO_SCHEMA, pgo_from_profile_dict
 from ..gc.collector import Collector, GCCheckError
@@ -41,7 +58,6 @@ from ..machine.models import MODELS
 from ..machine.vm import VM, VMError
 from ..workloads import AUX_WORKLOADS, WORKLOADS, load_workload
 
-TRAJECTORY_SCHEMA = "repro-obs-bench/1"
 DEFAULT_TRAJECTORY_CONFIGS = ("O", "O_safe", "g", "g_checked")
 
 
@@ -81,30 +97,40 @@ def _gc_stats_instant(tracer, collector: Collector) -> None:
 
 
 def _record_one(source: str, stdin: str, config_name: str, model_key: str,
-                gc_interval: int, profile_on: bool):
+                gc_interval: int, profile_on: bool, metrics_on: bool = True):
     """Run one compile+execute under a fresh tracer; return
-    (tracer, profile, collector, run result, wall seconds)."""
+    (tracer, profile, collector, run result, wall seconds, metrics).
+
+    All timestamps — the tracer's, the wall time, and the metric
+    histograms — read the single injectable ns clock (``obs.clock``),
+    so one fake clock makes the whole recording deterministic.
+    """
     runtime.reset()
     tracer = runtime.enable_tracing()
     profile = runtime.enable_profiling() if profile_on else None
+    metrics = runtime.enable_metrics() if metrics_on else None
     try:
         config = CompileConfig.named(config_name, MODELS[model_key])
         collector = Collector()
-        t0 = time.perf_counter()
+        t0_ns = obs_clock.now_ns()
         compiled = compile_source(source, config)
         vm = VM(compiled.asm, config.model, collector=collector,
                 gc_interval=gc_interval)
         vm.stdin = stdin
         result = vm.run()
-        wall_s = time.perf_counter() - t0
+        wall_s = (obs_clock.now_ns() - t0_ns) / 1e9
         _gc_stats_instant(tracer, collector)
+        if metrics is not None:
+            # Embed the snapshot so report/summarize can rebuild the
+            # percentile section from the trace alone.
+            tracer.instant("obs.metrics", metrics=metrics.to_dict())
         if profile is not None:
             # Embed the full per-block profile so a later `report --pgo`
             # can regenerate the fusion envelope from the trace alone.
             tracer.instant("vm.profile", profile=profile.to_dict())
     finally:
         runtime.reset()
-    return tracer, profile, collector, result, wall_s
+    return tracer, profile, collector, result, wall_s, metrics
 
 
 def cmd_record(args: argparse.Namespace) -> int:
@@ -121,7 +147,7 @@ def cmd_record(args: argparse.Namespace) -> int:
             stdin = fh.read()
 
     try:
-        tracer, profile, collector, result, wall_s = _record_one(
+        tracer, profile, collector, result, wall_s, metrics = _record_one(
             source, stdin, args.config, args.model, args.gc_interval,
             profile_on=not args.no_profile)
     except (GCCheckError, VMError) as exc:
@@ -131,12 +157,17 @@ def cmd_record(args: argparse.Namespace) -> int:
     tracer.write_jsonl(args.out)
     if args.chrome:
         tracer.write_chrome(args.chrome)
+    if args.metrics_out and metrics is not None:
+        metrics.write_jsonl(args.metrics_out, append=False)
+    if args.prom and metrics is not None:
+        metrics.write_prometheus(args.prom)
     if args.pgo_out:
         if profile is None:
             raise SystemExit("error: --pgo-out needs profiling "
                              "(drop --no-profile)")
         _write_pgo(profile.to_pgo(), args.pgo_out, quiet=args.quiet)
-    summary = summarize(tracer.events, profile, top=args.top)
+    summary = summarize(tracer.events, profile, top=args.top,
+                        metrics=metrics)
     summary["run"] = {
         "workload": args.workload, "source": args.source,
         "config": args.config, "model": args.model,
@@ -218,6 +249,28 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_trajectory(args: argparse.Namespace) -> int:
+    if args.check:
+        paths = args.files or default_trajectories()
+        if not paths:
+            print("trajectory check: no BENCH_*.json files found",
+                  file=sys.stderr)
+            return 1
+        failed = 0
+        for path, issues in validate_trajectories(paths).items():
+            if issues:
+                failed += 1
+                for issue in issues:
+                    print(f"FAIL {issue}", file=sys.stderr)
+            elif not args.quiet:
+                print(f"ok   {path}")
+        if failed:
+            print(f"trajectory check: {failed}/{len(paths)} file(s) "
+                  "malformed or empty", file=sys.stderr)
+            return 1
+        if not args.quiet:
+            print(f"trajectory check: {len(paths)} file(s) valid")
+        return 0
+
     source, stdin = _workload_source(args.workload)
     configs = tuple(c.strip() for c in args.configs.split(",") if c.strip())
     point: dict = {
@@ -228,9 +281,9 @@ def cmd_trajectory(args: argparse.Namespace) -> int:
         "configs": {},
     }
     for config_name in configs:
-        tracer, profile, collector, result, wall_s = _record_one(
+        tracer, profile, collector, result, wall_s, _ = _record_one(
             source, stdin, config_name, args.model, args.gc_interval,
-            profile_on=False)
+            profile_on=False, metrics_on=False)
         stats = collector.stats
         point["configs"][config_name] = {
             "exit_code": result.exit_code,
@@ -269,6 +322,47 @@ def cmd_trajectory(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    """Watch mode: render the newest snapshot in a metrics JSONL file."""
+    last_seq = None
+    while True:
+        snapshot = load_snapshot(args.file)
+        try:
+            if snapshot is None:
+                print(f"(no metrics snapshot in {args.file} yet)")
+            elif snapshot.get("seq") != last_seq or args.once:
+                last_seq = snapshot.get("seq")
+                print(render_snapshot(snapshot, top=args.top))
+        except BrokenPipeError:  # `obs top ... | head` is a normal use
+            return 0
+        if args.once:
+            return 0 if snapshot is not None else 1
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def cmd_sentinel(args: argparse.Namespace) -> int:
+    configs = tuple(c.strip() for c in args.configs.split(",") if c.strip())
+    verdict = run_sentinel(
+        workload=args.workload, model=args.model, configs=configs,
+        repeats=args.repeats, gc_interval=args.gc_interval,
+        trajectories=args.files or None, wall_slack=args.wall_slack,
+        mad_k=args.mad_k, strict_wall=args.strict_wall,
+        append=args.append, label=args.label, quiet=args.quiet)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(verdict, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        json.dump(verdict, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(render_verdict(verdict))
+    return 0 if verdict["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -300,6 +394,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rows in the hot-spot tables")
     p.add_argument("--no-profile", action="store_true",
                    help="skip VM hot-spot profiling (trace only)")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write the repro-obs-metrics/1 snapshot (JSONL)")
+    p.add_argument("--prom", default=None, metavar="FILE",
+                   help="write a Prometheus text-exposition export")
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(fn=cmd_record)
 
@@ -313,7 +411,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("trajectory",
-                       help="append a perf-trajectory point to BENCH_obs.json")
+                       help="append a perf-trajectory point to BENCH_obs.json "
+                            "or validate trajectories (--check)")
+    p.add_argument("files", nargs="*", metavar="FILE",
+                   help="trajectory files for --check "
+                        "(default: every BENCH_*.json)")
+    p.add_argument("--check", action="store_true",
+                   help="schema-validate trajectories instead of recording; "
+                        "exits non-zero on malformed/empty files")
     p.add_argument("--workload", default="cfrac")
     p.add_argument("--model", choices=tuple(MODELS), default="ss10")
     p.add_argument("--configs", default=",".join(DEFAULT_TRAJECTORY_CONFIGS))
@@ -322,6 +427,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--label", default="")
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(fn=cmd_trajectory)
+
+    p = sub.add_parser("top", help="watch live metrics snapshots")
+    p.add_argument("file", help="metrics JSONL file (from --metrics-out)")
+    p.add_argument("--interval", type=float, default=2.0)
+    p.add_argument("--once", action="store_true",
+                   help="render the latest snapshot and exit")
+    p.add_argument("--top", type=int, default=0,
+                   help="limit counters shown (0 = all)")
+    p.set_defaults(fn=cmd_top)
+
+    p = sub.add_parser("sentinel",
+                       help="compare a fresh run against the BENCH_*.json "
+                            "trajectories (perf-regression gate)")
+    p.add_argument("files", nargs="*", metavar="FILE",
+                   help="trajectory files (default: every BENCH_*.json)")
+    p.add_argument("--workload", default="cfrac")
+    p.add_argument("--model", choices=tuple(MODELS), default="ss10")
+    p.add_argument("--configs", default=",".join(DEFAULT_TRAJECTORY_CONFIGS))
+    p.add_argument("--gc-interval", type=int, default=0)
+    p.add_argument("--repeats", type=int, default=3,
+                   help="min-of-N wall measurement (default 3)")
+    p.add_argument("--wall-slack", type=float, default=0.5,
+                   help="relative wall tolerance floor (default 0.5)")
+    p.add_argument("--mad-k", type=float, default=3.0,
+                   help="MAD multiplier for the wall bound (default 3)")
+    p.add_argument("--strict-wall", action="store_true",
+                   help="wall regressions fail the verdict (default: "
+                        "advisory; only counts gate)")
+    p.add_argument("--append", action="store_true",
+                   help="append the fresh point to the trajectory when green")
+    p.add_argument("--label", default="sentinel")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the repro-obs-sentinel/1 verdict JSON")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(fn=cmd_sentinel)
     return parser
 
 

@@ -1,0 +1,65 @@
+"""The single injectable nanosecond clock behind every obs timestamp.
+
+Before this module existed the telemetry layer mixed clock sources:
+``tracer.py`` read ``time.perf_counter_ns`` while ``obs/cli.py`` timed
+wall seconds with ``time.perf_counter`` — two monotonic clocks that
+cannot be cross-referenced and cannot be faked together in tests.  Now
+every obs consumer (tracer epochs, GC pause timing, engine task
+latency, metric histograms, CLI wall times) reads nanoseconds from the
+one process-wide clock installed here.
+
+The clock is injectable for tests and replay tooling::
+
+    from repro.obs import clock
+    clock.set_clock(fake_ns)       # deterministic timestamps
+    ...
+    clock.reset()                  # back to time.perf_counter_ns
+
+Stdlib-only leaf: importable from the GC, the VM, and the engine
+without cycles.  Swapping the clock affects *observation only* — the
+simulated cycle/instruction counts never read it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Callable, Iterator
+
+#: Nanosecond monotonic clock; the process-wide default.
+DEFAULT_CLOCK: Callable[[], int] = time.perf_counter_ns
+
+_clock: Callable[[], int] = DEFAULT_CLOCK
+
+
+def get_clock() -> Callable[[], int]:
+    """The active nanosecond clock (hot paths cache the callable)."""
+    return _clock
+
+
+def set_clock(clock: Callable[[], int]) -> Callable[[], int]:
+    """Install ``clock`` as the process-wide ns source; returns it."""
+    global _clock
+    _clock = clock
+    return clock
+
+
+def reset() -> None:
+    """Restore ``time.perf_counter_ns``."""
+    set_clock(DEFAULT_CLOCK)
+
+
+def now_ns() -> int:
+    """One reading of the active clock."""
+    return _clock()
+
+
+@contextlib.contextmanager
+def clock_context(clock: Callable[[], int]) -> Iterator[Callable[[], int]]:
+    """Run a block under ``clock``; restores the previous source."""
+    previous = _clock
+    set_clock(clock)
+    try:
+        yield clock
+    finally:
+        set_clock(previous)

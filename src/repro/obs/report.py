@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
+from . import metrics as metrics_mod
+from .metrics import Histogram, MetricsRegistry
 from .tracer import TraceEvent
 from .vmprof import VMProfile
 
@@ -28,6 +30,26 @@ COMPILE_PHASES = (
     "compile.annotate", "compile.lower", "compile.codegen",
 )
 
+# Histogram metrics surfaced in the percentile section, in render order.
+PERCENTILE_METRICS = (
+    "gc.pause_ns", "gc.root_scan_ns", "gc.mark_ns", "gc.sweep_ns",
+    "vm.run_cycles", "vm.run_wall_ns",
+    "exec.task_wall_ns", "exec.queue_wait_ns",
+)
+
+# Span name -> (metric name, args key or None for the span duration):
+# used to synthesize percentile histograms from a plain trace when the
+# run had no metrics registry active.
+_SPAN_HISTOGRAMS = (
+    ("gc.collect", "gc.pause_ns", "pause_ns"),
+    ("gc.collect", "gc.root_scan_ns", "root_scan_ns"),
+    ("gc.collect", "gc.mark_ns", "mark_ns"),
+    ("gc.collect", "gc.sweep_ns", "sweep_ns"),
+    ("vm.run", "vm.run_wall_ns", None),
+    ("vm.run", "vm.run_cycles", "cycles"),
+    ("exec.task", "exec.task_wall_ns", None),
+)
+
 
 def _as_dict(event: TraceEvent | dict[str, Any]) -> dict[str, Any]:
     if isinstance(event, dict):
@@ -37,9 +59,19 @@ def _as_dict(event: TraceEvent | dict[str, Any]) -> dict[str, Any]:
 
 def summarize(events: Iterable[TraceEvent | dict[str, Any]],
               profile: VMProfile | None = None,
-              top: int = 10) -> dict[str, Any]:
-    """Aggregate a trace into the ``repro-obs-summary/1`` dict."""
+              top: int = 10,
+              metrics: "MetricsRegistry | dict[str, Any] | None" = None,
+              ) -> dict[str, Any]:
+    """Aggregate a trace into the ``repro-obs-summary/1`` dict.
+
+    ``metrics`` (a registry or its ``to_dict`` payload) adds a
+    ``metrics`` section and drives the ``percentiles`` section; without
+    one, percentile histograms are synthesized from the trace's
+    ``gc.collect`` / ``vm.run`` / ``exec.task`` spans, so old traces
+    still get a percentile section.
+    """
     evs = [_as_dict(e) for e in events]
+    metrics_payload: dict[str, Any] | None = None
 
     phases: dict[str, dict[str, int]] = {}
     opt_passes: dict[str, dict[str, int]] = {}
@@ -113,6 +145,9 @@ def summarize(events: Iterable[TraceEvent | dict[str, Any]],
                     vm[key] += args.get(key, 0)
         elif kind == "instant" and name == "gc.stats":
             gc_stats = dict(args)
+        elif kind == "instant" and name == "obs.metrics":
+            # A metrics snapshot embedded in the trace (repro obs record).
+            metrics_payload = args.get("metrics") or metrics_payload
         elif kind == "instant" and name in ("cache.hit", "cache.miss",
                                             "cache.evict"):
             tier = cache.setdefault(
@@ -143,6 +178,42 @@ def summarize(events: Iterable[TraceEvent | dict[str, Any]],
     avg = gc["pause_ns_total"] // gc["collections"] if gc["collections"] else 0
     gc["pause_ns_avg"] = avg
 
+    # Percentile section: prefer real metric histograms (exact bucket
+    # counts, shard-merged); fall back to histograms synthesized from
+    # the trace spans.
+    if metrics is not None:
+        metrics_payload = (metrics.to_dict()
+                           if isinstance(metrics, MetricsRegistry)
+                           else dict(metrics))
+    reg = MetricsRegistry()
+    if metrics_payload:
+        reg.merge(metrics_payload)
+    else:
+        for e in evs:
+            if e.get("kind") != "span":
+                continue
+            name, args = e.get("name", ""), e.get("args", {})
+            for span_name, metric_name, args_key in _SPAN_HISTOGRAMS:
+                if name != span_name:
+                    continue
+                value = (e.get("dur", 0) if args_key is None
+                         else args.get(args_key))
+                if value is None:
+                    continue
+                bounds = (metrics_mod.COUNT_BUCKETS
+                          if metric_name == "vm.run_cycles"
+                          else metrics_mod.TIME_BUCKETS_NS)
+                reg.histogram(metric_name, bounds=bounds).observe(value)
+    percentiles: dict[str, dict[str, Any]] = {}
+    for name in PERCENTILE_METRICS:
+        hist = reg.get(name)
+        if isinstance(hist, Histogram) and hist.count:
+            percentiles[name] = {"count": hist.count,
+                                 "p50": hist.percentile(50),
+                                 "p95": hist.percentile(95),
+                                 "p99": hist.percentile(99),
+                                 "max": hist.max}
+
     summary: dict[str, Any] = {
         "schema": SUMMARY_SCHEMA,
         "compile": {"units": compiles, "total_ns": compile_ns,
@@ -150,6 +221,10 @@ def summarize(events: Iterable[TraceEvent | dict[str, Any]],
         "gc": {**gc, "timeline": gc_timeline, "stats": gc_stats},
         "vm": vm,
     }
+    if percentiles:
+        summary["percentiles"] = percentiles
+    if metrics_payload:
+        summary["metrics"] = metrics_payload
     if cache:
         summary["cache"] = cache
     if resil_seen:
@@ -254,6 +329,32 @@ def render_vm_report(summary: dict[str, Any]) -> str:
             f"{_ms(vm['wall_ns'])} wall")
 
 
+def render_percentiles_report(summary: dict[str, Any]) -> str:
+    pct = summary.get("percentiles")
+    if not pct:
+        return "percentiles: no histogram data recorded"
+    lines = ["latency percentiles (from deterministic fixed-bucket "
+             "histograms):",
+             f"  {'metric':<20s} {'n':>6s} {'p50':>10s} {'p95':>10s} "
+             f"{'p99':>10s} {'max':>10s}"]
+
+    def fmt(name: str, value: Any) -> str:
+        if value is None:
+            return "-"
+        return _ms(value) if name.endswith("_ns") else str(value)
+
+    for name in PERCENTILE_METRICS:
+        cell = pct.get(name)
+        if not cell:
+            continue
+        lines.append(f"  {name:<20s} {cell['count']:>6d} "
+                     f"{fmt(name, cell['p50']):>10s} "
+                     f"{fmt(name, cell['p95']):>10s} "
+                     f"{fmt(name, cell['p99']):>10s} "
+                     f"{fmt(name, cell['max']):>10s}")
+    return "\n".join(lines)
+
+
 def render_resil_report(summary: dict[str, Any]) -> str:
     r = summary.get("resil")
     if not r:
@@ -271,6 +372,8 @@ def render_text(summary: dict[str, Any],
                 profile: VMProfile | None = None, top: int = 10) -> str:
     parts = [render_compile_report(summary), "", render_gc_report(summary),
              "", render_vm_report(summary)]
+    if "percentiles" in summary:
+        parts += ["", render_percentiles_report(summary)]
     if "resil" in summary:
         parts += ["", render_resil_report(summary)]
     if profile is not None:

@@ -17,16 +17,19 @@ instrumented code paths all reduce to one attribute test (see
 ``tracer.Tracer``), and VMs compile their plain un-wrapped closures.
 
 This module must stay import-cycle-free: it may import only
-``obs.tracer`` and ``obs.vmprof`` (both stdlib-only leaves).
+``obs.tracer``, ``obs.vmprof``, and ``obs.metrics`` (all stdlib-only
+leaves).
 """
 
 from __future__ import annotations
 
+from .metrics import MetricsRegistry
 from .tracer import Tracer
 from .vmprof import VMProfile
 
 _tracer: Tracer = Tracer(enabled=False)
 _profile: VMProfile | None = None
+_metrics: MetricsRegistry | None = None
 
 
 def get_tracer() -> Tracer:
@@ -76,8 +79,39 @@ def session_profile() -> VMProfile | None:
     return _profile
 
 
+def get_metrics() -> MetricsRegistry | None:
+    """The active metrics registry (None when metrics are off).
+
+    Instrumented hot paths read this once per operation; the disabled
+    path is a single ``is None`` test, mirroring ``tracer.enabled``.
+    """
+    return _metrics
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry | None:
+    global _metrics
+    _metrics = registry
+    return registry
+
+
+def enable_metrics(out: str | None = None) -> MetricsRegistry:
+    """Install and return a fresh metrics registry.  ``out`` becomes the
+    registry's flush destination (JSONL snapshots, or Prometheus text
+    when the path ends in ``.prom``)."""
+    return set_metrics(MetricsRegistry(out_path=out))
+
+
+def disable_metrics() -> None:
+    set_metrics(None)
+
+
+def metrics_enabled() -> bool:
+    return _metrics is not None
+
+
 def reset() -> None:
     """Restore the default (disabled) state — used by tests and CLIs."""
-    global _profile
+    global _profile, _metrics
     disable_tracing()
     _profile = None
+    _metrics = None

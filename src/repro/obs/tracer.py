@@ -40,9 +40,10 @@ is 0 for root spans.
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, TextIO
+
+from . import clock as _clock_mod
 
 SCHEMA = "repro-obs-trace/1"
 
@@ -116,7 +117,9 @@ class Tracer:
     def __init__(self, enabled: bool = True,
                  clock: Callable[[], int] | None = None):
         self.enabled = enabled
-        self._clock = clock if clock is not None else time.perf_counter_ns
+        # Default to the process-wide injectable ns clock (obs.clock) so
+        # tracer timestamps and metric histograms share one source.
+        self._clock = clock if clock is not None else _clock_mod.get_clock()
         self._epoch = self._clock()
         self.events: list[TraceEvent] = []
         self._stack: list[TraceEvent] = []

@@ -86,8 +86,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             reference = {name: _SUITES[name](args) for name in suites}
 
         obs_runtime.enable_tracing()
+        metrics_out = getattr(args, "metrics_out", None)
+        obs_runtime.enable_metrics(out=metrics_out)
         faulted: dict[str, str] = {}
         error: str | None = None
+        metrics_snapshot: dict = {}
         try:
             with inject.plan_context(plan), \
                  exec_cache.cache_context(*exec_cache.open_caches(root)), \
@@ -103,6 +106,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     in exec_cache.active_caches_by_kind().items()}
             events = [e.to_json()
                       for e in obs_runtime.get_tracer().sorted_events()]
+            metrics = obs_runtime.get_metrics()
+            if metrics is not None:
+                metrics.flush()
+                metrics_snapshot = metrics.to_dict()
         finally:
             obs_runtime.reset()
     finally:
@@ -111,6 +118,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     summary = summarize(events)
     report["resil"] = summary.get("resil", {})
     report["cache"] = cache_stats
+    report["metrics"] = metrics_snapshot
+    if metrics_out:
+        print(f"! metrics written to {metrics_out}", file=sys.stderr)
     if error is not None:
         report["ok"] = False
         report["error"] = error
@@ -172,6 +182,9 @@ def add_chaos_parser(sub) -> None:
                    help="fuzz iterations per phase")
     p.add_argument("--task-timeout", type=float, default=30.0,
                    help="per-task hang timeout under faults (seconds)")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write a repro-obs-metrics/1 snapshot of the "
+                        "faulted phase (JSONL; .prom gets Prometheus text)")
     p.add_argument("--json", action="store_true",
                    help="emit a repro-chaos/1 JSON envelope")
     p.set_defaults(fn=cmd_chaos)

@@ -13,8 +13,14 @@ decision functions can target specific workers.  In the parent process
 (``_shard is None``) the worker seams never fire — an injected
 ``os._exit`` must only ever kill a child.
 
-Stdlib-only leaf (plus :mod:`repro.resil.plan`): importable from the
-engine and caches without cycles.
+Stdlib-only leaf (plus :mod:`repro.resil.plan` and the obs leaves):
+importable from the engine and caches without cycles.
+
+Injected faults that the process *survives* (delays, pipe drops/
+garbage, cache corruption, ENOSPC) are counted on the active metrics
+registry as ``resil.faults_injected{kind=...}``; poison/crash faults
+``os._exit`` immediately, so their counters could never ship home and
+they are deliberately not counted.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import errno
 import os
 import time
 
+from ..obs import runtime as obs_runtime
 from .plan import FaultPlan
 
 _plan: FaultPlan | None = None
@@ -36,6 +43,14 @@ _cache_writes = 0
 POISON_EXIT = 86
 CRASH_EXIT = 87
 _GARBAGE = b"\xde\xad\xbe\xef not a pickle \x00\x01\x02"
+
+
+def _count_fault(kind: str) -> None:
+    """Record one survivable injected fault on the metrics registry
+    (det=False: fault schedules depend on shard/attempt timing)."""
+    metrics = obs_runtime.get_metrics()
+    if metrics is not None:
+        metrics.counter("resil.faults_injected", det=False, kind=kind).inc()
 
 
 def install(plan: FaultPlan) -> None:
@@ -95,6 +110,7 @@ def on_task_start(index: int) -> None:
         os._exit(POISON_EXIT)
     delay = _plan.task_delay(_shard, _attempt, _tasks_started, seam="task")
     if delay > 0.0:
+        _count_fault("task_slow")
         time.sleep(delay)
 
 
@@ -121,8 +137,10 @@ def wrap_send(conn):
         counter[0] += 1
         action = plan.pipe_action(shard, attempt, counter[0])
         if action == "drop":
+            _count_fault("pipe_drop")
             return
         if action == "garbage":
+            _count_fault("pipe_garbage")
             conn.send_bytes(_GARBAGE)
             return
         conn.send(message)
@@ -141,6 +159,7 @@ def compile_checkpoint() -> None:
     delay = _plan.task_delay(_shard, _attempt, max(_tasks_started, 1),
                              seam="compile")
     if delay > 0.0:
+        _count_fault("compile_slow")
         time.sleep(delay)
 
 
@@ -155,6 +174,7 @@ def filter_cache_read(kind: str, blob: bytes) -> bytes:
         return blob
     _cache_reads += 1
     if _plan.corrupt_read(_cache_reads):
+        _count_fault("cache_corrupt")
         return bytes(b ^ 0xFF for b in blob[:64]) + blob[64:]
     return blob
 
@@ -166,4 +186,5 @@ def check_cache_write(kind: str) -> None:
         return
     _cache_writes += 1
     if _plan.fail_write(_cache_writes):
+        _count_fault("cache_enospc")
         raise OSError(errno.ENOSPC, "injected: no space left on device")

@@ -47,6 +47,20 @@ class TestMergeUnit:
         a.merge(GCStats(alloc_histogram={3: 4, 7: 9}))
         assert a.alloc_histogram == {3: 6, 5: 1, 7: 9}
 
+    def test_pause_and_sweep_histograms_merge_keywise(self):
+        a = GCStats(pause_histogram={14: 2, 16: 1}, sweep_histogram={13: 3})
+        a.merge(GCStats(pause_histogram={14: 1, 20: 5},
+                        sweep_histogram={13: 1, 15: 2}))
+        assert a.pause_histogram == {14: 3, 16: 1, 20: 5}
+        assert a.sweep_histogram == {13: 4, 15: 2}
+
+    def test_histogram_merge_accepts_string_buckets(self):
+        # JSON round-trips stringify dict keys; merge must re-int them
+        # so a worker snapshot that crossed a pipe folds identically.
+        a = GCStats(pause_histogram={14: 1})
+        a.merge({"pause_histogram": {"14": 2, "17": 1}})
+        assert a.pause_histogram == {14: 3, 17: 1}
+
     def test_dict_roundtrip(self):
         a = GCStats(collections=4, same_obj_checks=11, max_pause_ns=7,
                     alloc_histogram={2: 3})
@@ -57,6 +71,21 @@ class TestMergeUnit:
         assert d["alloc_histogram"] is not a.alloc_histogram
         b = GCStats.from_dict(d)
         assert b.to_dict() == d
+
+    def test_empty_histograms_elided_from_dict(self):
+        # Zero-value elision: a run that never collected serializes
+        # identically whether or not the histogram fields were touched.
+        d = GCStats(collections=1).to_dict()
+        assert "pause_histogram" not in d
+        assert "sweep_histogram" not in d
+        assert "alloc_histogram" not in d
+        full = GCStats(pause_histogram={14: 1}, sweep_histogram={12: 1},
+                       alloc_histogram={3: 1}).to_dict()
+        assert full["pause_histogram"] == {14: 1}
+        assert full["sweep_histogram"] == {12: 1}
+        back = GCStats.from_dict(full)
+        assert back.pause_histogram == {14: 1}
+        assert back.sweep_histogram == {12: 1}
 
     def test_merge_accepts_raw_dict(self):
         a = GCStats()
@@ -83,3 +112,10 @@ class TestShardedAggregates:
         assert totals["checks_performed"] > 0
         assert totals["same_obj_checks"] > 0
         assert totals["collections"] > 0
+        # The pause histogram is maintained on every collect path (its
+        # bucket *distribution* is wall-dependent, but every collection
+        # lands in exactly one bucket — serial and sharded alike).
+        assert (sum(serial.gc_totals.pause_histogram.values())
+                == totals["collections"])
+        assert (sum(sharded.gc_totals.pause_histogram.values())
+                == totals["collections"])

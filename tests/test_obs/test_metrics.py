@@ -1,0 +1,267 @@
+"""The typed metric registry (tentpole): counters/gauges/histograms,
+exact integer percentiles, shard merge, zero-value elision, and the
+acceptance gate — deterministic snapshots byte-identical across
+``--workers N`` for the same seed."""
+
+import json
+import os
+
+import pytest
+
+from repro.fuzz.campaign import run_campaign
+from repro.obs import runtime
+from repro.obs.metrics import (
+    COUNT_BUCKETS, Histogram, MetricsRegistry, SCHEMA, TIME_BUCKETS_NS,
+    load_snapshot, metric_key, render_snapshot, split_key,
+)
+
+WORKERS = max(2, int(os.environ.get("REPRO_EXEC_WORKERS", "4")))
+
+
+class TestKeys:
+    def test_roundtrip(self):
+        key = metric_key("cache.hits", {"tier": "compile", "shard": "3"})
+        assert key == "cache.hits{shard=3,tier=compile}"
+        assert split_key(key) == ("cache.hits",
+                                  {"shard": "3", "tier": "compile"})
+
+    def test_no_labels(self):
+        assert metric_key("vm.runs") == "vm.runs"
+        assert split_key("vm.runs") == ("vm.runs", {})
+
+    def test_reserved_characters_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="reserved"):
+            reg.counter("bad", tier="a,b")
+
+
+class TestCounter:
+    def test_inc_and_elision(self):
+        reg = MetricsRegistry()
+        c = reg.counter("vm.runs")
+        assert c.to_entry() is None  # registered-but-untouched == absent
+        assert reg.to_dict() == {}
+        c.inc()
+        c.inc(9)
+        assert reg.to_dict() == {
+            "vm.runs": {"type": "counter", "det": True, "value": 10}}
+
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", x=1) is reg.counter("a", x=1)
+        assert reg.counter("a", x=1) is not reg.counter("a", x=2)
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError, match="is a counter"):
+            reg.gauge("m")
+        with pytest.raises(ValueError, match="not a histogram"):
+            reg.histogram("m")
+
+
+class TestGauge:
+    def test_gauges_are_never_det(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("gc.live_bytes")
+        assert g.to_entry() is None
+        g.set(4096)
+        assert g.to_entry() == {"type": "gauge", "det": False, "value": 4096}
+        assert reg.deterministic_snapshot()["metrics"] == {}
+
+    def test_merge_takes_maximum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(5)
+        b.gauge("g").set(9)
+        a.merge(b)
+        assert a.get("g").value == 9
+        a.merge(b)  # idempotent for max
+        assert a.get("g").value == 9
+
+
+class TestHistogram:
+    def test_bucket_placement_inclusive_upper(self):
+        h = Histogram("h", "h", {}, bounds=(10, 100, 1000))
+        for v in (10, 11, 100, 5000):
+            h.observe(v)
+        # 10 lands in [0,10], 11/100 in (10,100], 5000 overflows.
+        assert h.counts == [1, 2, 0, 1]
+        assert (h.count, h.sum, h.min, h.max) == (4, 5121, 10, 5000)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", "h", {}, bounds=(10, 10, 20))
+
+    def test_percentiles_exact_and_deterministic(self):
+        a = Histogram("h", "h", {}, bounds=TIME_BUCKETS_NS)
+        b = Histogram("h", "h", {}, bounds=TIME_BUCKETS_NS)
+        values = [(i * 7919) % 100_000 + 1 for i in range(500)]
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):  # order-independent
+            b.observe(v)
+        assert a.percentiles() == b.percentiles()
+        p = a.percentiles()
+        assert p["count"] == 500
+        assert a.min <= p["p50"] <= p["p95"] <= p["p99"] <= a.max
+
+    def test_percentile_clamped_to_observed_range(self):
+        h = Histogram("h", "h", {}, bounds=(1 << 20,))
+        h.observe(5)
+        h.observe(7)
+        assert h.percentile(50) >= 5
+        assert h.percentile(99) <= 7
+        assert Histogram("e", "e", {}).percentile(50) is None
+
+    def test_merge_equals_serial(self):
+        serial = Histogram("h", "h", {}, bounds=COUNT_BUCKETS)
+        parts = [Histogram("h", "h", {}, bounds=COUNT_BUCKETS)
+                 for _ in range(3)]
+        for i in range(300):
+            v = (i * 104729) % 1_000_000
+            serial.observe(v)
+            parts[i % 3].observe(v)
+        merged = Histogram("h", "h", {}, bounds=COUNT_BUCKETS)
+        for part in parts:
+            merged.merge_entry(part.to_entry())
+        assert merged.to_entry() == serial.to_entry()
+        assert merged.percentiles() == serial.percentiles()
+
+    def test_merge_rejects_mismatched_bounds(self):
+        h = Histogram("h", "h", {}, bounds=(1, 2, 3))
+        o = Histogram("h", "h", {}, bounds=(1, 2))
+        o.observe(1)
+        with pytest.raises(ValueError, match="bounds"):
+            h.merge_entry(o.to_entry())
+
+    def test_entry_roundtrip(self):
+        h = Histogram("h{x=1}", "h", {"x": "1"}, bounds=(8, 64), det=True)
+        for v in (1, 9, 100):
+            h.observe(v)
+        back = Histogram.from_entry("h{x=1}", h.to_entry())
+        assert back.to_entry() == h.to_entry()
+        assert back.det is True
+
+
+class TestRegistrySerialization:
+    def _filled(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("vm.instructions").inc(1000)
+        reg.counter("exec.tasks", det=False).inc(4)
+        reg.gauge("gc.live_bytes").set(2048)
+        reg.histogram("gc.pause_ns").observe(150_000)
+        reg.histogram("vm.run_cycles", bounds=COUNT_BUCKETS,
+                      det=True).observe(2_560_902)
+        return reg
+
+    def test_to_dict_sorted_and_det_filtered(self):
+        reg = self._filled()
+        full = reg.to_dict()
+        assert list(full) == sorted(full)
+        det = reg.to_dict(det_only=True)
+        assert set(det) == {"vm.instructions", "vm.run_cycles"}
+
+    def test_deterministic_snapshot_has_no_seq(self):
+        snap = self._filled().deterministic_snapshot()
+        assert snap["schema"] == SCHEMA
+        assert "seq" not in snap
+
+    def test_registry_merge_from_dict_payload(self):
+        a, b = self._filled(), self._filled()
+        a.merge(b.to_dict())
+        assert a.get("vm.instructions").value == 2000
+        assert a.get("gc.pause_ns").count == 2
+        # unknown instrument types from a newer writer are skipped
+        a.merge({"future.metric": {"type": "summary", "value": 1}})
+        assert a.get("future.metric") is None
+
+    def test_jsonl_roundtrip_and_load_snapshot(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        reg = self._filled()
+        reg.write_jsonl(path, append=False)
+        reg.counter("vm.instructions").inc()
+        reg.write_jsonl(path)
+        snap = load_snapshot(path)
+        assert snap["seq"] == 1  # the latest envelope wins
+        assert snap["metrics"]["vm.instructions"]["value"] == 1001
+        assert load_snapshot(str(tmp_path / "missing.jsonl")) is None
+
+    def test_flush_appends_jsonl_but_rewrites_prom(self, tmp_path):
+        jpath = str(tmp_path / "m.jsonl")
+        reg = self._filled()
+        reg.out_path = jpath
+        reg.flush()
+        reg.flush()
+        with open(jpath) as fh:
+            assert len(fh.readlines()) == 2
+        ppath = str(tmp_path / "m.prom")
+        reg.out_path = ppath
+        reg.flush()
+        reg.flush()
+        with open(ppath) as fh:
+            text = fh.read()
+        assert text.count("# TYPE repro_vm_instructions counter") == 1
+
+    def test_prometheus_exposition(self):
+        out = self._filled().to_prometheus()
+        assert "repro_vm_instructions 1000" in out
+        assert "repro_gc_live_bytes 2048" in out
+        assert 'repro_gc_pause_ns_bucket{le="+Inf"} 1' in out
+        assert "repro_gc_pause_ns_sum 150000" in out
+        assert "repro_gc_pause_ns_count 1" in out
+        # cumulative buckets end at the total count
+        cum = [ln for ln in out.splitlines()
+               if ln.startswith("repro_vm_run_cycles_bucket")]
+        assert cum[-1].endswith(" 1")
+
+    def test_render_snapshot(self):
+        text = render_snapshot(self._filled().snapshot())
+        assert "vm.run_cycles" in text
+        assert "2560902" in text            # count histograms stay raw
+        assert "0.15ms" in text             # _ns histograms render as ms
+        assert "vm.instructions" in text
+
+
+class TestRuntimeLifecycle:
+    def test_enable_get_disable(self):
+        assert runtime.get_metrics() is None
+        reg = runtime.enable_metrics()
+        assert runtime.get_metrics() is reg
+        assert runtime.metrics_enabled()
+        runtime.disable_metrics()
+        assert runtime.get_metrics() is None
+
+    def test_reset_clears_metrics(self):
+        runtime.enable_metrics()
+        runtime.reset()
+        assert runtime.get_metrics() is None
+
+
+class TestShardedByteIdentity:
+    """Acceptance: same seed, same deterministic snapshot bytes for
+    ``--workers 1`` and ``--workers N``."""
+
+    def _campaign_snapshot(self, workers: int) -> str:
+        reg = runtime.set_metrics(MetricsRegistry())
+        try:
+            result = run_campaign(seed=0, iters=4, models=("ss10",),
+                                  stop_after=None, workers=workers)
+            assert result.iterations == 4
+            assert result.telemetry["metrics"]  # snapshot rode along
+            return json.dumps(reg.deterministic_snapshot(), sort_keys=True)
+        finally:
+            runtime.set_metrics(None)
+
+    def test_serial_vs_sharded_snapshots_identical(self):
+        serial = self._campaign_snapshot(1)
+        sharded = self._campaign_snapshot(WORKERS)
+        assert serial == sharded
+        metrics = json.loads(serial)["metrics"]
+        # The simulated counters actually moved — this is not an
+        # empty-vs-empty comparison.
+        assert metrics["vm.instructions"]["value"] > 0
+        assert metrics["gc.collections"]["value"] > 0
+        assert metrics["fuzz.iterations"]["value"] == 4
+        assert metrics["vm.run_cycles"]["count"] > 0
+        # ... while wall-time histograms exist only outside the det view.
+        assert "vm.run_wall_ns" not in metrics

@@ -5,9 +5,10 @@ from repro.gc import Collector
 from repro.machine import CompileConfig, VM, compile_source
 from repro.machine.models import MODELS
 from repro.obs import runtime
+from repro.obs.metrics import COUNT_BUCKETS, MetricsRegistry
 from repro.obs.report import (SUMMARY_SCHEMA, render_compile_report,
-                              render_gc_report, render_text, render_vm_report,
-                              summarize)
+                              render_gc_report, render_percentiles_report,
+                              render_text, render_vm_report, summarize)
 from repro.obs.tracer import Tracer
 
 PROGRAM = """
@@ -97,6 +98,56 @@ class TestSummarize:
         assert summarize(tr.events)["compile"]["units"] == 1
         assert summarize([e.to_json() for e in tr.events]
                          )["compile"]["units"] == 1
+
+
+class TestPercentiles:
+    def test_synthesized_from_spans(self):
+        # No metrics registry was active during the run: the percentile
+        # histograms are rebuilt from gc.collect / vm.run span args.
+        s = summarize(synthetic_events())
+        pct = s["percentiles"]
+        assert pct["gc.pause_ns"]["count"] == 2
+        assert pct["gc.pause_ns"]["max"] == 120
+        assert pct["gc.sweep_ns"]["count"] == 2
+        assert pct["vm.run_cycles"] == {
+            "count": 1, "p50": 900, "p95": 900, "p99": 900, "max": 900}
+        assert pct["vm.run_wall_ns"]["max"] == 5000
+        assert "metrics" not in s  # nothing was embedded
+
+    def test_metrics_payload_wins_over_synthesis(self):
+        reg = MetricsRegistry()
+        for v in (100, 200, 300, 400):
+            reg.histogram("gc.pause_ns").observe(v)
+        reg.histogram("vm.run_cycles", bounds=COUNT_BUCKETS,
+                      det=True).observe(2_560_902)
+        reg.counter("vm.instructions").inc(1_570_004)
+        events = synthetic_events() + [
+            {"kind": "instant", "name": "obs.metrics", "t0": 999,
+             "args": {"metrics": reg.to_dict()}}]
+        s = summarize(events)
+        # The embedded payload drives the section — 4 observations, not
+        # the 2 gc.collect spans.
+        assert s["percentiles"]["gc.pause_ns"]["count"] == 4
+        assert s["percentiles"]["vm.run_cycles"]["max"] == 2_560_902
+        assert s["metrics"]["vm.instructions"]["value"] == 1_570_004
+
+    def test_registry_argument_drives_section(self):
+        reg = MetricsRegistry()
+        reg.histogram("exec.task_wall_ns").observe(50_000_000)
+        s = summarize([], metrics=reg)
+        assert s["percentiles"]["exec.task_wall_ns"]["count"] == 1
+
+    def test_render_percentiles(self):
+        s = summarize(synthetic_events())
+        text = render_percentiles_report(s)
+        assert "latency percentiles" in text
+        assert "gc.pause_ns" in text
+        assert "vm.run_cycles" in text
+        assert "900" in text              # counts render raw
+        assert render_percentiles_report({}) == \
+            "percentiles: no histogram data recorded"
+        # ...and the full text report includes the section.
+        assert "latency percentiles" in render_text(s)
 
 
 class TestRenderText:

@@ -1,0 +1,212 @@
+"""The perf-regression sentinel: trajectory validation, noise bounds,
+verdicts against seeded histories, and the ``trajectory --check`` /
+``top`` / ``sentinel`` CLI surfaces."""
+
+import json
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.cli import main as obs_main
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sentinel import (
+    TRAJECTORY_SCHEMA, run_sentinel, validate_trajectory, wall_bound,
+)
+
+TINY = """
+int main(void) {
+    char *s = (char *)GC_malloc(16);
+    int i, t = 0;
+    for (i = 0; i < 10; i++) s[i] = i * 2;
+    for (i = 0; i < 10; i++) t += s[i];
+    return t;
+}
+"""
+
+
+def _fresh_cells(**kwargs) -> dict:
+    """One baseline measurement of TINY (no trajectories to gate on)."""
+    verdict = run_sentinel(workload="tiny", source=TINY, configs=("O",),
+                           repeats=1, trajectories=[], **kwargs)
+    assert verdict["ok"]
+    return verdict["configs"]
+
+
+def _write_point_doc(path, cells, workload="tiny", model="ss10",
+                     n_points=1) -> str:
+    doc = {"schema": TRAJECTORY_SCHEMA,
+           "points": [{"date": "2026-01-01", "workload": workload,
+                       "model": model, "label": f"seed {i}",
+                       "configs": cells} for i in range(n_points)]}
+    path.write_text(json.dumps(doc, indent=2))
+    return str(path)
+
+
+class TestValidateTrajectory:
+    def test_missing_file(self, tmp_path):
+        issues = validate_trajectory(str(tmp_path / "BENCH_nope.json"))
+        assert issues and "missing" in issues[0]
+
+    def test_malformed_json(self, tmp_path):
+        p = tmp_path / "BENCH_bad.json"
+        p.write_text("{not json")
+        assert any("malformed" in i for i in validate_trajectory(str(p)))
+
+    def test_wrong_schema(self, tmp_path):
+        p = tmp_path / "BENCH_odd.json"
+        p.write_text(json.dumps({"schema": "repro-other/9", "points": []}))
+        assert any("unexpected schema" in i
+                   for i in validate_trajectory(str(p)))
+
+    def test_empty_points_and_empty_list(self, tmp_path):
+        p = tmp_path / "BENCH_empty.json"
+        p.write_text(json.dumps({"schema": TRAJECTORY_SCHEMA, "points": []}))
+        assert any("empty trajectory" in i
+                   for i in validate_trajectory(str(p)))
+        p.write_text("[]")
+        assert any("empty trajectory" in i
+                   for i in validate_trajectory(str(p)))
+
+    def test_point_missing_cell_keys(self, tmp_path):
+        p = tmp_path / "BENCH_thin.json"
+        p.write_text(json.dumps({
+            "schema": TRAJECTORY_SCHEMA,
+            "points": [{"workload": "w", "model": "m",
+                        "configs": {"O": {"cycles": 1}}}]}))
+        issues = validate_trajectory(str(p))
+        assert any("missing" in i and "wall_s" in i for i in issues)
+
+    def test_record_list_with_unknown_schema(self, tmp_path):
+        p = tmp_path / "BENCH_recs.json"
+        p.write_text(json.dumps([{"schema": "repro-unknown/1"}]))
+        assert any("unknown schema" in i for i in validate_trajectory(str(p)))
+
+    def test_repo_seeds_are_valid(self):
+        for path in ("BENCH_obs.json", "BENCH_exec.json", "BENCH_vm2.json"):
+            assert validate_trajectory(path) == []
+
+
+class TestWallBound:
+    def test_single_point_history_gets_slack_floor(self):
+        # MAD of one point is 0; the slack floor keeps the bound usable.
+        assert wall_bound([2.0]) == pytest.approx(3.0)
+
+    def test_mad_dominates_when_larger(self):
+        history = [1.0, 1.0, 1.0, 9.0]  # median 1.0, MAD 0.0 -> floor
+        assert wall_bound(history) == pytest.approx(1.5)
+        history = [0.5, 1.0, 1.5, 2.0, 9.0]  # median 1.5, MAD 0.5
+        assert wall_bound(history, wall_slack=0.1, mad_k=4.0) == \
+            pytest.approx(1.5 + 2.0)
+
+
+class TestRunSentinel:
+    def test_green_against_matching_history(self, tmp_path):
+        cells = _fresh_cells()
+        traj = _write_point_doc(tmp_path / "BENCH_tiny.json", cells)
+        verdict = run_sentinel(workload="tiny", source=TINY, configs=("O",),
+                               repeats=2, trajectories=[traj],
+                               wall_slack=50.0)
+        assert verdict["schema"] == "repro-obs-sentinel/1"
+        assert verdict["counts_ok"] and verdict["ok"]
+        kinds = {c["kind"] for c in verdict["checks"]}
+        assert {"counts", "wall"} <= kinds
+        assert all(c["ok"] for c in verdict["checks"])
+        # The fresh measurement ships its metrics snapshot along.
+        assert verdict["metrics"]["metrics"]["vm.runs"]["value"] == 2
+
+    def test_count_drift_fails_hard(self, tmp_path):
+        cells = json.loads(json.dumps(_fresh_cells()))
+        cells["O"]["cycles"] += 1
+        traj = _write_point_doc(tmp_path / "BENCH_tiny.json", cells)
+        verdict = run_sentinel(workload="tiny", source=TINY, configs=("O",),
+                               repeats=1, trajectories=[traj])
+        assert not verdict["counts_ok"]
+        assert not verdict["ok"]
+        bad = [c for c in verdict["checks"]
+               if c["kind"] == "counts" and not c["ok"]]
+        assert bad and "cycles" in bad[0]["detail"]
+
+    def test_wall_breach_is_advisory_unless_strict(self, tmp_path):
+        cells = json.loads(json.dumps(_fresh_cells()))
+        cells["O"]["wall_s"] = 1e-07  # unreachable bound
+        traj = _write_point_doc(tmp_path / "BENCH_tiny.json", cells)
+        kwargs = dict(workload="tiny", source=TINY, configs=("O",),
+                      repeats=1, trajectories=[traj])
+        advisory = run_sentinel(**kwargs)
+        assert advisory["counts_ok"] and not advisory["wall_ok"]
+        assert advisory["ok"]  # advisory by default
+        strict = run_sentinel(strict_wall=True, **kwargs)
+        assert not strict["ok"]
+
+    def test_malformed_trajectory_fails_validation(self, tmp_path):
+        p = tmp_path / "BENCH_bad.json"
+        p.write_text("{broken")
+        verdict = run_sentinel(workload="tiny", source=TINY, configs=("O",),
+                               repeats=1, trajectories=[str(p)])
+        assert not verdict["ok"]
+        assert any(c["kind"] == "validate" and not c["ok"]
+                   for c in verdict["checks"])
+
+    def test_append_grows_the_trajectory(self, tmp_path):
+        cells = _fresh_cells()
+        traj = _write_point_doc(tmp_path / "BENCH_tiny.json", cells)
+        verdict = run_sentinel(workload="tiny", source=TINY, configs=("O",),
+                               repeats=1, trajectories=[traj], append=True,
+                               label="fresh")
+        assert verdict["appended"] and verdict["appended_to"] == traj
+        doc = json.loads((tmp_path / "BENCH_tiny.json").read_text())
+        assert len(doc["points"]) == 2
+        assert doc["points"][-1]["label"] == "fresh"
+
+    def test_caller_registry_is_restored(self):
+        mine = runtime.set_metrics(MetricsRegistry())
+        try:
+            mine.counter("caller.marker").inc(7)
+            run_sentinel(workload="tiny", source=TINY, configs=("O",),
+                         repeats=1, trajectories=[])
+            assert runtime.get_metrics() is mine
+            # ...and the sentinel's VM runs did not leak into it.
+            assert mine.get("vm.runs") is None
+            assert mine.get("caller.marker").value == 7
+        finally:
+            runtime.set_metrics(None)
+
+
+class TestTrajectoryCheckCLI:
+    def test_check_ok(self, tmp_path, capsys):
+        cells = _fresh_cells()
+        traj = _write_point_doc(tmp_path / "BENCH_tiny.json", cells)
+        assert obs_main(["trajectory", "--check", traj]) == 0
+        assert "1 file(s) valid" in capsys.readouterr().out
+
+    def test_check_fails_on_malformed(self, tmp_path, capsys):
+        p = tmp_path / "BENCH_bad.json"
+        p.write_text("{broken")
+        assert obs_main(["trajectory", "--check", str(p)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_check_fails_on_empty_trajectory(self, tmp_path, capsys):
+        p = tmp_path / "BENCH_hollow.json"
+        p.write_text(json.dumps({"schema": TRAJECTORY_SCHEMA, "points": []}))
+        assert obs_main(["trajectory", "--check", str(p)]) == 1
+        assert "empty trajectory" in capsys.readouterr().err
+
+    def test_check_repo_defaults(self):
+        # The committed BENCH_*.json seeds must stay valid (CI runs this
+        # exact invocation from the repo root).
+        assert obs_main(["trajectory", "--check", "--quiet"]) == 0
+
+
+class TestTopCLI:
+    def test_once_renders_latest_snapshot(self, tmp_path, capsys):
+        path = str(tmp_path / "m.jsonl")
+        reg = MetricsRegistry()
+        reg.counter("vm.runs").inc(3)
+        reg.write_jsonl(path, append=False)
+        assert obs_main(["top", path, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "vm.runs" in out and "live metric(s)" in out
+
+    def test_once_missing_file_exits_nonzero(self, tmp_path, capsys):
+        assert obs_main(["top", str(tmp_path / "none.jsonl"),
+                         "--once"]) == 1
