@@ -23,13 +23,14 @@ Quick start (the unified facade)::
     tc = Toolchain()
     print(tc.annotate("char *f(char *p) { return p + 1; }").text)
 
-``annotate_source`` / ``check_source`` remain as deprecated module-level
-shims.
+The deprecated module-level ``annotate_source`` / ``check_source``
+shims were removed in the serve PR: the facade (or its daemon twin,
+:class:`repro.api.Client`) is the only entry point.
 """
 
 from .api import Mode, Options, Toolchain
-from .core.api import AnnotatedSource, annotate_source, check_source
+from .core.api import AnnotatedSource
 
 __version__ = "1.0.0"
-__all__ = ["AnnotatedSource", "annotate_source", "check_source",
-           "Toolchain", "Options", "Mode", "__version__"]
+__all__ = ["AnnotatedSource", "Toolchain", "Options", "Mode",
+           "__version__"]

@@ -1,0 +1,44 @@
+"""``repro.api`` — the public surface: one facade, one wire client,
+one envelope registry.
+
+* :class:`Toolchain` (and its :class:`Options` bag / :class:`Mode`
+  enum) — the in-process facade over annotate/check/compile/run/
+  bench/fuzz (:mod:`repro.api._facade`).
+* :class:`Client` — the same surface method-for-method, spoken over
+  the ``repro serve`` daemon's versioned-envelope wire protocol
+  (:mod:`repro.serve.client`).
+* :mod:`repro.api.envelopes` — the registry of every versioned
+  ``repro-<name>/<v>`` JSON schema (the only place the literals live).
+* :mod:`repro.api.build` — the envelope builders the CLIs and the
+  daemon share, so both serialize identically.
+
+The heavy facade machinery is imported lazily (PEP 562) so that leaf
+consumers — ``from repro.api import envelopes`` inside the telemetry
+layer, say — never pull in the compiler pipeline.
+"""
+
+from __future__ import annotations
+
+from . import envelopes
+
+__all__ = ["Mode", "Options", "Toolchain", "POISON_BYTE", "Client",
+           "envelopes"]
+
+_FACADE_NAMES = ("Mode", "Options", "Toolchain", "POISON_BYTE")
+
+
+def __getattr__(name: str):
+    if name in _FACADE_NAMES:
+        from . import _facade
+        return getattr(_facade, name)
+    if name == "Client":
+        from ..serve.client import Client
+        return Client
+    if name == "build":
+        from . import build
+        return build
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__) | {"build"})

@@ -19,7 +19,9 @@ machinery the options imply — today the content-addressed caches under
 ``cache_dir`` — for a ``with`` block.
 
 The old module-level ``repro.core.api.annotate_source`` /
-``check_source`` remain as deprecation shims.
+``check_source`` shims are gone — the facade is the only entry point
+(out of process, :class:`repro.api.Client` mirrors it over the
+``repro serve`` daemon).
 """
 
 from __future__ import annotations
@@ -29,19 +31,19 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any
 
-from .cfront.errors import Diagnostic
-from .core.annotate import AnnotateOptions
-from .core.api import AnnotatedSource, _annotate_source, _check_source
-from .exec import cache as exec_cache
-from .gc.collector import Collector
-from .machine.driver import CompileConfig, CompiledProgram, compile_source
-from .machine.models import MODELS
-from .machine.vm import VM, RunResult
+from ..cfront.errors import Diagnostic
+from ..core.annotate import AnnotateOptions
+from ..core.api import AnnotatedSource, _annotate_source, _check_source
+from ..exec import cache as exec_cache
+from ..gc.collector import Collector
+from ..machine.driver import CompileConfig, CompiledProgram, compile_source
+from ..machine.models import MODELS
+from ..machine.vm import VM, RunResult
 
 if TYPE_CHECKING:  # heavy subsystems are imported lazily at call time
-    from .bench.harness import WorkloadRow
-    from .fuzz.campaign import CampaignResult
-    from .machine.superinst import SuperinstPlan
+    from ..bench.harness import WorkloadRow
+    from ..fuzz.campaign import CampaignResult
+    from ..machine.superinst import SuperinstPlan
 
 #: Heap poison pattern used by adversarial reruns (matches fuzz.oracle).
 POISON_BYTE = 0xDD
@@ -171,7 +173,7 @@ class Toolchain:
         disk."""
         if self.options.pgo is None:
             return None
-        from .machine.superinst import load_pgo, plan_from_pgo
+        from ..machine.superinst import load_pgo, plan_from_pgo
         return plan_from_pgo(load_pgo(self.options.pgo))
 
     def execute(self, compiled: CompiledProgram, stdin: str = "",
@@ -182,7 +184,7 @@ class Toolchain:
         program in place first; with ``options.pgo`` the VM fuses hot
         blocks from the named profile."""
         if self.options.sink:
-            from .postproc.sink import sink_program
+            from ..postproc.sink import sink_program
             sink_program(compiled.asm)
         collector = Collector()
         if self.options.poison:
@@ -208,7 +210,7 @@ class Toolchain:
               ) -> "dict[str, WorkloadRow]":
         """The paper's benchmark matrix on this options' model, sharded
         across ``options.workers`` processes."""
-        from .bench.harness import CONFIG_ORDER, Harness
+        from ..bench.harness import CONFIG_ORDER, Harness
         harness = Harness(self.options.model, pgo=self.superinst_plan(),
                           sink=self.options.sink)
         return harness.run_all(workloads, configs or CONFIG_ORDER,
@@ -218,7 +220,7 @@ class Toolchain:
              **kwargs: Any) -> "CampaignResult":
         """A differential fuzzing campaign (see
         :func:`repro.fuzz.campaign.run_campaign` for kwargs)."""
-        from .fuzz.campaign import run_campaign
+        from ..fuzz.campaign import run_campaign
         kwargs.setdefault("workers", self.options.workers)
         return run_campaign(seed, iters, **kwargs)
 

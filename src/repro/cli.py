@@ -29,10 +29,20 @@
         Run the bench/fuzz matrix under a deterministic fault plan and
         assert the reports are byte-identical to the fault-free run.
 
+    python -m repro serve [start|load|call ...]
+        The multi-tenant toolchain daemon (and its deterministic load
+        generator) — every job answers with the same envelope bytes
+        the commands above print under ``--json``; see docs/SERVE.md.
+
 The commands are thin shells over :class:`repro.api.Toolchain` — one
 options bag, one facade; anything a command does is equally scriptable.
-Machine-readable outputs carry a ``{"schema": "repro-<name>/1"}``
-envelope (see docs/ARCHITECTURE.md for the schema registry).
+Report-emitting subcommands share one flag trio (``--json`` /
+``--metrics-out`` / ``--workers``, :mod:`repro.cliutil`) and
+machine-readable outputs carry a ``{"schema": "repro-<name>/<v>"}``
+envelope from the registry of record, :mod:`repro.api.envelopes`
+(rendered in docs/ARCHITECTURE.md); the JSON bytes are built by
+:mod:`repro.api.build`, the same builders the serve daemon answers
+with.
 
 Every subcommand also accepts the telemetry flags ``--trace FILE``
 (write a JSONL trace of compile-pipeline spans, GC pauses, and VM runs;
@@ -48,11 +58,13 @@ across invocations.
 from __future__ import annotations
 
 import argparse
-import dataclasses
-import json
 import sys
 
 from .api import Toolchain
+from .api.build import (
+    annotate_envelope, bench_envelope, check_envelope, dumps_canonical,
+    run_envelope,
+)
 from .cfront.errors import CFrontError
 from .core.annotate import AnnotateOptions
 from .exec import cache as exec_cache
@@ -61,8 +73,10 @@ from .gc.collector import GCCheckError
 from .machine.models import MODELS
 from .machine.vm import VMError
 from .obs import runtime as obs_runtime
+from .cliutil import add_cache_flags, add_obs_flags, add_report_flags
 from .postproc import postprocess
 from .resil.cli import add_chaos_parser
+from .serve.cli import add_serve_parser
 
 
 def _read(path: str) -> str:
@@ -84,17 +98,7 @@ def cmd_annotate(args: argparse.Namespace) -> int:
     tc = Toolchain(mode=args.mode, run_cpp=not args.no_cpp, annotate=options)
     result = tc.annotate(source)
     if args.json:
-        print(json.dumps({
-            "schema": "repro-annotate/1",
-            "mode": args.mode,
-            "text": result.text,
-            "keep_lives": result.stats.keep_lives,
-            "stats": dataclasses.asdict(result.stats),
-            "diagnostics": [
-                {"pos": d.pos, "line": source.count("\n", 0, d.pos) + 1,
-                 "category": d.category, "message": d.message}
-                for d in result.diagnostics],
-        }, indent=2, sort_keys=True))
+        print(dumps_canonical(annotate_envelope(source, args.mode, result)))
         return 0
     if args.warnings:
         for diag in result.diagnostics:
@@ -108,6 +112,9 @@ def cmd_annotate(args: argparse.Namespace) -> int:
 def cmd_check(args: argparse.Namespace) -> int:
     source = _read(args.file)
     diags = Toolchain(run_cpp=not args.no_cpp).check(source)
+    if args.json:
+        print(dumps_canonical(check_envelope(source, diags)))
+        return 1 if diags else 0
     for diag in diags:
         print(diag.render(source))
     return 1 if diags else 0
@@ -137,6 +144,10 @@ def cmd_cc(args: argparse.Namespace) -> int:
     except GCCheckError as exc:
         print(f"! pointer check failed: {exc}", file=sys.stderr)
         return 3
+    if args.json:
+        print(dumps_canonical(run_envelope(
+            result, compiled.asm.code_size(), args.config, args.model)))
+        return result.exit_code & 0xFF
     sys.stdout.write(result.output)
     print(f"! exit={result.exit_code} instructions={result.instructions} "
           f"cycles={result.cycles} collections={result.collections} "
@@ -145,31 +156,16 @@ def cmd_cc(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from .bench.tables import render_slowdown_table
-    table_key = {"ss2": "t1_ss2", "ss10": "t2_ss10", "p90": "t3_p90"}[args.model]
     tc = Toolchain(model=args.model, workers=args.workers,
                    pgo=args.pgo, sink=args.sink)
     workloads = tuple(args.workloads.split(",")) if args.workloads else None
     rows = tc.bench(workloads)
-    print(render_slowdown_table(
-        rows, table_key, f"Slowdowns on {MODELS[args.model].name}"))
+    envelope = bench_envelope(rows, args.model)
+    if args.json:
+        print(dumps_canonical(envelope))
+        return 0
+    print(envelope["table"])
     return 0
-
-
-def _add_obs_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--trace", default=None, metavar="FILE",
-                   help="write a JSONL telemetry trace of this run")
-    p.add_argument("--profile", action="store_true",
-                   help="print the VM hot-spot profile to stderr")
-    p.add_argument("--metrics-out", default=None, metavar="FILE",
-                   help="write a repro-obs-metrics/1 snapshot of this run "
-                        "(JSONL; a .prom path gets Prometheus text format)")
-
-
-def _add_cache_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--cache-dir", default=None, metavar="DIR",
-                   help="enable the content-addressed compile/result "
-                        "caches rooted at DIR (default: $REPRO_CACHE_DIR)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -188,15 +184,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--call-safe-points", action="store_true")
     p.add_argument("--warnings", action="store_true")
     p.add_argument("--stats", action="store_true")
-    p.add_argument("--json", action="store_true",
-                   help="emit a repro-annotate/1 JSON envelope")
-    _add_obs_args(p)
+    add_report_flags(p, json_schema="repro-annotate/1")
+    add_obs_flags(p)
     p.set_defaults(fn=cmd_annotate)
 
     p = sub.add_parser("check", help="source-safety diagnostics")
     p.add_argument("file")
     p.add_argument("--no-cpp", action="store_true")
-    _add_obs_args(p)
+    add_report_flags(p, json_schema="repro-check/1")
+    add_obs_flags(p)
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("cc", help="compile and run on the simulated machine")
@@ -213,27 +209,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--poison", action="store_true")
     p.add_argument("--stdin")
     p.add_argument("--dump-asm", action="store_true")
-    _add_obs_args(p)
-    _add_cache_args(p)
+    add_report_flags(p, json_schema="repro-run/1")
+    add_obs_flags(p)
+    add_cache_flags(p)
     p.set_defaults(fn=cmd_cc)
 
     p = sub.add_parser("bench", help="print one slowdown table")
     p.add_argument("--model", choices=tuple(MODELS), default="ss10")
     p.add_argument("--workloads", default="")
-    p.add_argument("--workers", type=int, default=1,
-                   help="shard benchmark cells across N worker processes")
     p.add_argument("--sink", action="store_true",
                    help="run the escape-analysis allocation-sinking pass "
                         "on every cell")
     p.add_argument("--pgo", default=None, metavar="FILE",
                    help="replay a repro-vmprof-pgo/1 profile: fuse its "
                         "hot blocks into superinstructions")
-    _add_obs_args(p)
-    _add_cache_args(p)
+    add_report_flags(p, json_schema="repro-bench/1")
+    add_obs_flags(p)
+    add_cache_flags(p)
     p.set_defaults(fn=cmd_bench)
 
     add_cache_parser(sub)
     add_chaos_parser(sub)
+    add_serve_parser(sub)
     return parser
 
 
@@ -245,10 +242,11 @@ def main(argv: list[str] | None = None) -> int:
     # chaos resets the obs runtime internally (two-phase run), so it
     # wires --metrics-out itself in cmd_chaos.
     metrics_out = (getattr(args, "metrics_out", None)
-                   if args.command != "chaos" else None)
-    # cache manages tiers explicitly; chaos builds its own throwaway root
+                   if args.command not in ("chaos", "serve") else None)
+    # cache manages tiers explicitly; chaos and serve own their roots
     cache_dir = (resolve_cache_dir(getattr(args, "cache_dir", None))
-                 if args.command not in ("cache", "chaos") else None)
+                 if args.command not in ("cache", "chaos", "serve")
+                 else None)
     caches = ()
     if cache_dir:
         caches = exec_cache.open_caches(cache_dir)

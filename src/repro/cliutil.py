@@ -1,0 +1,63 @@
+"""Shared argparse plumbing — one helper, not five copies.
+
+Every report-emitting subcommand carries the same flag trio:
+
+* ``--json`` — print the command's versioned envelope
+  (:mod:`repro.api.envelopes`) instead of the human rendering;
+* ``--metrics-out FILE`` — write a ``repro-obs-metrics/1`` snapshot of
+  the run (JSONL; a ``.prom`` path gets Prometheus text);
+* ``--workers N`` — shard the work across N engine processes
+  (byte-identical output at any N; a no-op for inherently single-unit
+  commands, which accept it for surface uniformity).
+
+``add_report_flags`` installs the trio; the obs pair
+(``--trace``/``--profile``) and ``--cache-dir`` keep their own helpers
+here too, so ``repro``, ``repro.fuzz``, ``repro serve`` and ``repro
+chaos`` all share one spelling and :class:`repro.api.Client` callers
+see the same serialization the CLIs print.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+def add_report_flags(p: argparse.ArgumentParser, *, json_schema: str,
+                     workers: bool = True, workers_default: int = 1,
+                     metrics: bool = True,
+                     json_flag: bool = True) -> None:
+    """The uniform ``--json`` / ``--metrics-out`` / ``--workers`` trio.
+
+    ``json_schema`` names the envelope the command emits (shown in
+    ``--help``); individual flags can be suppressed only where they
+    cannot apply (e.g. ``--workers`` on ``cache clear``).
+    """
+    if json_flag:
+        p.add_argument("--json", action="store_true",
+                       help=f"emit a {json_schema} JSON envelope")
+    if metrics:
+        p.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write a repro-obs-metrics/1 snapshot of this "
+                            "run (JSONL; a .prom path gets Prometheus "
+                            "text format)")
+    if workers:
+        p.add_argument("--workers", type=int, default=workers_default,
+                       help="shard work across N engine processes "
+                            "(output is byte-identical at any N)")
+
+
+def add_obs_flags(p: argparse.ArgumentParser) -> None:
+    """``--trace`` / ``--profile`` — the tracing side of telemetry."""
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a JSONL telemetry trace of this run")
+    p.add_argument("--profile", action="store_true",
+                   help="print the VM hot-spot profile to stderr")
+
+
+def add_cache_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="enable the content-addressed compile/result "
+                        "caches rooted at DIR (default: $REPRO_CACHE_DIR)")
+
+
+__all__ = ["add_report_flags", "add_obs_flags", "add_cache_flags"]

@@ -6,14 +6,14 @@ from .annotate import (
     AnnotateOptions, AnnotateStats, AnnotationResult, Annotator, CHECKED, SAFE,
     annotate,
 )
-from .api import AnnotatedSource, annotate_source, check_source
+from .api import AnnotatedSource
 from .base import base_of, baseaddr_of, is_generating, is_plain_copy
 from .edits import Edit, EditList, splice
 from .sourcecheck import check_unit
 
 __all__ = [
     "AnnotateOptions", "AnnotateStats", "AnnotationResult", "Annotator",
-    "CHECKED", "SAFE", "annotate", "AnnotatedSource", "annotate_source",
-    "check_source", "base_of", "baseaddr_of", "is_generating",
+    "CHECKED", "SAFE", "annotate", "AnnotatedSource",
+    "base_of", "baseaddr_of", "is_generating",
     "is_plain_copy", "Edit", "EditList", "splice", "check_unit",
 ]

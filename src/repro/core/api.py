@@ -1,19 +1,20 @@
-"""Public entry points for the annotator — the paper's preprocessor as a
+"""Entry points for the annotator — the paper's preprocessor as a
 library.
 
->>> from repro.core import annotate_source
->>> result = annotate_source("char *f(char *p) { return p + 1; }")
+>>> from repro.api import Toolchain
+>>> result = Toolchain().annotate("char *f(char *p) { return p + 1; }")
 >>> print(result.text)            # doctest: +SKIP
 char *f(char *p) { return KEEP_LIVE((p + 1), p); }
 
-``annotate_source`` / ``check_source`` are kept as deprecation shims for
-the original module-level API; new code should go through the unified
-facade, :class:`repro.api.Toolchain`.
+The old module-level ``annotate_source`` / ``check_source`` shims are
+gone (deprecated through PR 7, removed in the serve PR): every caller
+goes through the unified facade, :class:`repro.api.Toolchain`, whose
+``annotate()`` / ``check()`` wrap the private ``_annotate_source`` /
+``_check_source`` workers below.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 
 from ..cfront import cast as A
@@ -87,29 +88,6 @@ def _check_source(source: str, run_cpp: bool = False,
     unit = parse(source)
     typecheck(unit)
     return check_unit(unit)
-
-
-def annotate_source(source: str, mode: str = SAFE,
-                    options: AnnotateOptions | None = None,
-                    run_cpp: bool = False,
-                    include_dirs: list[str] | None = None) -> AnnotatedSource:
-    """Deprecated shim — use :meth:`repro.api.Toolchain.annotate`."""
-    warnings.warn(
-        "repro.core.api.annotate_source is deprecated; use "
-        "repro.api.Toolchain(...).annotate(source)",
-        DeprecationWarning, stacklevel=2)
-    return _annotate_source(source, mode=mode, options=options,
-                            run_cpp=run_cpp, include_dirs=include_dirs)
-
-
-def check_source(source: str, run_cpp: bool = False,
-                 include_dirs: list[str] | None = None) -> list[Diagnostic]:
-    """Deprecated shim — use :meth:`repro.api.Toolchain.check`."""
-    warnings.warn(
-        "repro.core.api.check_source is deprecated; use "
-        "repro.api.Toolchain(...).check(source)",
-        DeprecationWarning, stacklevel=2)
-    return _check_source(source, run_cpp=run_cpp, include_dirs=include_dirs)
 
 
 def _render(source: str, unit: A.TranslationUnit, result: AnnotationResult,

@@ -63,6 +63,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterator
 
+from ..api import envelopes
 from ..obs import runtime as obs_runtime
 from ..resil import inject as resil_inject
 
@@ -70,7 +71,7 @@ from ..resil import inject as resil_inject
 # same (source, config): it salts every key, orphaning old entries.
 # /2: superinstruction fusion + allocation sinking (PR 6) changed what a
 # "cell" can contain, and cells gained sink/pgo fields.
-CODE_VERSION = "repro-exec-cache/2"
+CODE_VERSION = envelopes.EXEC_CACHE
 
 _MAGIC = b"RPROCC01"
 _DIGEST_LEN = 32

@@ -17,6 +17,8 @@ import json
 import os
 import sys
 
+from ..api import envelopes
+from ..cliutil import add_report_flags
 from .cache import open_caches
 
 DEFAULT_DIR_ENV = "REPRO_CACHE_DIR"
@@ -34,10 +36,10 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 2
     tiers = open_caches(root)
     if args.action == "stats":
-        report = {cache.kind: {"entries": cache.entry_count(),
-                               "bytes": cache.total_bytes()}
-                  for cache in tiers}
-        report["schema"] = "repro-cache-stats/1"
+        report = envelopes.make(envelopes.CACHE_STATS, {
+            cache.kind: {"entries": cache.entry_count(),
+                         "bytes": cache.total_bytes()}
+            for cache in tiers})
         report["root"] = os.path.abspath(root)
         if args.json:
             print(json.dumps(report, indent=2, sort_keys=True))
@@ -55,7 +57,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 0
     if args.action == "verify":
         evicted_total = 0
-        report = {"schema": "repro-cache-verify/1"}
+        report = envelopes.make(envelopes.CACHE_VERIFY, {})
         for cache in tiers:
             result = cache.verify()
             report[cache.kind] = result
@@ -74,5 +76,7 @@ def add_cache_parser(sub) -> None:
     p.add_argument("action", choices=("stats", "clear", "verify"))
     p.add_argument("--cache-dir", default=None,
                    help=f"cache root (default: ${DEFAULT_DIR_ENV})")
-    p.add_argument("--json", action="store_true")
+    add_report_flags(
+        p, json_schema=f"{envelopes.CACHE_STATS} / {envelopes.CACHE_VERIFY}",
+        workers=False, metrics=False)
     p.set_defaults(fn=cmd_cache)

@@ -25,6 +25,8 @@ import os
 import sys
 
 from ..api import Toolchain
+from ..api.build import dumps_canonical, fuzz_envelope
+from ..cliutil import add_report_flags
 from ..exec import cache as exec_cache
 from ..exec.cli import resolve_cache_dir
 from ..machine.models import MODELS
@@ -66,9 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-statements", type=int, default=None,
                    help="cap generated statements per program")
     p.add_argument("--max-instructions", type=int, default=5_000_000)
-    p.add_argument("--workers", type=int, default=1,
-                   help="shard iterations (or replay cells) across N "
-                        "processes; findings are identical to a serial run")
+    add_report_flags(p, json_schema="repro-fuzz/1")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="content-addressed compile cache root "
                         "(default: $REPRO_CACHE_DIR)")
@@ -81,16 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a JSONL telemetry trace of the campaign")
     p.add_argument("--profile", action="store_true",
                    help="print the aggregate VM hot-spot profile to stderr")
-    p.add_argument("--metrics-out", default=None, metavar="FILE",
-                   help="write a repro-obs-metrics/1 snapshot of the "
-                        "campaign (JSONL; .prom gets Prometheus text)")
     p.add_argument("--quiet", action="store_true")
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    log = (lambda msg: None) if args.quiet else (lambda msg: print(msg, flush=True))
+    quiet = args.quiet or args.json  # --json owns stdout
+    log = (lambda msg: None) if quiet else (lambda msg: print(msg, flush=True))
 
     def execute() -> int:
         if args.replay:
@@ -124,6 +122,9 @@ def main(argv: list[str] | None = None) -> int:
             out_dir=args.out, gen_options=gen_options,
             stop_after=None if args.keep_going else 1,
             max_instructions=args.max_instructions, log=log)
+        if args.json:
+            print(dumps_canonical(fuzz_envelope(result)))
+            return 0 if result.ok else 1
         verdict = ("zero differential mismatches"
                    if result.ok else f"{len(result.findings)} finding(s)")
         log(f"checked {result.iterations} programs "

@@ -44,7 +44,9 @@ import json
 import re
 from typing import Any, Iterable, TextIO
 
-SCHEMA = "repro-obs-metrics/1"
+from ..api import envelopes
+
+SCHEMA = envelopes.OBS_METRICS
 
 #: Default histogram bounds for nanosecond latencies: powers of two
 #: from ~4µs (2**12) to ~17s (2**34), plus the implicit +Inf overflow.

@@ -18,11 +18,12 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from . import metrics as metrics_mod
+from ..api import envelopes
 from .metrics import Histogram, MetricsRegistry
 from .tracer import TraceEvent
 from .vmprof import VMProfile
 
-SUMMARY_SCHEMA = "repro-obs-summary/1"
+SUMMARY_SCHEMA = envelopes.OBS_SUMMARY
 
 # Pipeline phases in execution order (span names).
 COMPILE_PHASES = (

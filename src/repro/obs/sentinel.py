@@ -37,6 +37,7 @@ import time
 from typing import Any, Sequence
 
 from . import clock as obs_clock
+from ..api import envelopes
 from . import runtime
 from .metrics import MetricsRegistry
 from ..gc.collector import Collector
@@ -44,10 +45,10 @@ from ..machine.driver import CompileConfig, compile_source
 from ..machine.models import MODELS
 from ..machine.vm import VM
 
-SCHEMA = "repro-obs-sentinel/1"
-TRAJECTORY_SCHEMA = "repro-obs-bench/1"
-EXEC_SCHEMA = "repro-exec-bench/1"
-VM2_SCHEMA = "repro-vm2-bench/1"
+SCHEMA = envelopes.OBS_SENTINEL
+TRAJECTORY_SCHEMA = envelopes.OBS_BENCH
+EXEC_SCHEMA = envelopes.EXEC_BENCH
+VM2_SCHEMA = envelopes.VM2_BENCH
 
 DEFAULT_CONFIGS = ("O", "O_safe", "g", "g_checked")
 

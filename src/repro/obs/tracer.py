@@ -44,8 +44,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, TextIO
 
 from . import clock as _clock_mod
+from ..api import envelopes
 
-SCHEMA = "repro-obs-trace/1"
+SCHEMA = envelopes.OBS_TRACE
 
 
 @dataclass

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..api import envelopes
+
 # Builtins that are pointer-arithmetic checks (the paper's GC_same_obj
 # family): profiled per call site so check overhead in `-checked`
 # builds can be attributed to the code that incurs it.
@@ -41,7 +43,7 @@ CHECK_BUILTINS = frozenset((
 # superinstruction selection (``repro.machine.superinst``).  The format
 # is deliberately tiny — block identities plus their cycle shares — so
 # a profile recorded once replays deterministically forever.
-PGO_SCHEMA = "repro-vmprof-pgo/1"
+PGO_SCHEMA = envelopes.VMPROF_PGO
 
 
 def pgo_from_profile_dict(d: dict) -> dict:

@@ -29,6 +29,9 @@ import shutil
 import sys
 import tempfile
 
+from ..api import envelopes
+from ..api.build import TABLE_KEYS
+from ..cliutil import add_report_flags
 from ..exec import cache as exec_cache
 from ..exec import engine
 from ..obs import runtime as obs_runtime
@@ -40,7 +43,7 @@ from .plan import FaultSpecError, parse_faults
 #: and a slow worker (exercising reassignment under skew).
 DEFAULT_FAULTS = ("worker_crash@shard1,cache_corrupt@2-4,"
                   "pipe_drop@0.05,slow_worker@shard0:2x")
-CHAOS_SCHEMA = "repro-chaos/1"
+CHAOS_SCHEMA = envelopes.CHAOS
 
 
 def _sha(text: str) -> str:
@@ -51,14 +54,12 @@ def _bench_bytes(args: argparse.Namespace) -> str:
     from ..api import Toolchain
     from ..bench.tables import render_slowdown_table
     from ..machine.models import MODELS
-    table_key = {"ss2": "t1_ss2", "ss10": "t2_ss10",
-                 "p90": "t3_p90"}[args.model]
     tc = Toolchain(model=args.model, workers=args.workers)
     workloads = (tuple(args.workloads.split(","))
                  if args.workloads else None)
     rows = tc.bench(workloads)
     return render_slowdown_table(
-        rows, table_key, f"Slowdowns on {MODELS[args.model].name}")
+        rows, TABLE_KEYS[args.model], f"Slowdowns on {MODELS[args.model].name}")
 
 
 def _fuzz_bytes(args: argparse.Namespace) -> str:
@@ -78,9 +79,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         return 2
     suites = tuple(_SUITES) if args.suite == "both" else (args.suite,)
     root = tempfile.mkdtemp(prefix="repro-chaos-")
-    report: dict = {"schema": CHAOS_SCHEMA, "seed": args.seed,
-                    "workers": args.workers, "faults": plan.to_json(),
-                    "suites": {}, "ok": True}
+    report = envelopes.make(envelopes.CHAOS, {
+        "seed": args.seed, "workers": args.workers,
+        "faults": plan.to_json(), "suites": {}, "ok": True})
     try:
         with exec_cache.cache_context(*exec_cache.open_caches(root)):
             reference = {name: _SUITES[name](args) for name in suites}
@@ -172,9 +173,9 @@ def add_chaos_parser(sub) -> None:
                    help="fault-plan seed (also the fuzz campaign seed)")
     p.add_argument("--faults", default=DEFAULT_FAULTS,
                    help=f"fault spec (default: {DEFAULT_FAULTS})")
-    p.add_argument("--workers", type=int, default=4)
     p.add_argument("--suite", choices=("both", "bench", "fuzz"),
                    default="both")
+    add_report_flags(p, json_schema=envelopes.CHAOS, workers_default=4)
     p.add_argument("--model", default="ss10")
     p.add_argument("--workloads", default="",
                    help="comma-separated bench workloads (default: all)")
@@ -182,9 +183,4 @@ def add_chaos_parser(sub) -> None:
                    help="fuzz iterations per phase")
     p.add_argument("--task-timeout", type=float, default=30.0,
                    help="per-task hang timeout under faults (seconds)")
-    p.add_argument("--metrics-out", default=None, metavar="FILE",
-                   help="write a repro-obs-metrics/1 snapshot of the "
-                        "faulted phase (JSONL; .prom gets Prometheus text)")
-    p.add_argument("--json", action="store_true",
-                   help="emit a repro-chaos/1 JSON envelope")
     p.set_defaults(fn=cmd_chaos)

@@ -1,0 +1,29 @@
+"""``repro.serve`` — the multi-tenant toolchain daemon.
+
+An asyncio job-queue service in front of :class:`repro.api.Toolchain`:
+clients POST ``repro-serve-request/1`` envelopes to a local HTTP
+surface, jobs are admitted under per-tenant quotas
+(:mod:`repro.serve.quota`), batch-scheduled fairly across tenants onto
+one executor that owns the sharded exec engine and the shared warm
+content-addressed caches, and answered with the *same* versioned
+envelope bytes the CLI ``--json`` paths print
+(:mod:`repro.api.build`) — byte identity between served, sharded, and
+serial runs is the service's correctness gate, faulted or not.
+
+    python -m repro serve start --workers 4 --cache-dir /tmp/cc
+    python -m repro serve load --seed 0 --clients 8 --check
+
+Modules: ``protocol`` (wire envelopes + minimal HTTP), ``quota``
+(admission control), ``jobs`` (method table -> envelope builders),
+``daemon`` (the async server + scheduler), ``client``
+(:class:`repro.api.Client`), ``load`` (deterministic load generator +
+chaos replay + SLO report), ``cli``.
+"""
+
+from .client import Client, ServeError
+from .daemon import Daemon, DaemonHandle, ServeConfig, start_in_thread
+from .quota import AdmissionController, TenantQuota
+
+__all__ = ["Client", "ServeError", "Daemon", "DaemonHandle",
+           "ServeConfig", "start_in_thread", "AdmissionController",
+           "TenantQuota"]

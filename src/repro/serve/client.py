@@ -1,0 +1,158 @@
+""":class:`repro.api.Client` — the Toolchain facade, spoken over the
+daemon's wire.
+
+Mirrors every *serveable* :class:`repro.api.Toolchain` method by name
+— ``annotate`` / ``check`` / ``run`` / ``bench`` / ``fuzz`` — plus the
+daemon control plane (``health`` / ``metrics_snapshot`` /
+``shutdown``).  ``compile``/``execute`` stay facade-only: they return
+live in-process objects (a linked program, a VM result) that have no
+wire form; ``run`` is their wire composition.
+
+Methods return the job's *inner* versioned envelope (the same dict the
+matching CLI ``--json`` prints); typed daemon failures raise
+:class:`ServeError` carrying the ``repro-serve-error/1`` envelope::
+
+    with Client(port=8091, tenant="ci") as c:
+        doc = c.annotate("char *f(char *p) { return p + 1; }")
+        doc["schema"]            # 'repro-annotate/1'
+
+One ``Client`` owns one keep-alive HTTP connection and is not thread
+safe — give each concurrent caller its own instance (the load
+generator runs one per simulated client).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any
+
+from ..api import envelopes
+from . import protocol
+
+
+class ServeError(Exception):
+    """The daemon answered with a typed ``repro-serve-error/1``."""
+
+    def __init__(self, envelope: dict):
+        self.envelope = envelope
+        error = envelope.get("error", {})
+        self.code = error.get("code", "unknown")
+        self.reason = error.get("reason")
+        super().__init__(f"{self.code}: {error.get('message', '')}")
+
+
+class Client:
+    def __init__(self, host: str = "127.0.0.1", port: int = 8091,
+                 tenant: str = "default", timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+        self._next_id = 1
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def call(self, method: str, params: dict | None = None) -> dict:
+        """One RPC round-trip; returns the inner result envelope or
+        raises :class:`ServeError`."""
+        request = protocol.make_request(method, params or {},
+                                        tenant=self.tenant,
+                                        req_id=self._next_id)
+        self._next_id += 1
+        body = protocol.encode_doc(request)
+        conn = self._connection()
+        try:
+            conn.request("POST", "/rpc", body=body,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            payload = response.read()
+        except (ConnectionError, http.client.HTTPException, OSError):
+            # One reconnect: the daemon may have dropped a stale
+            # keep-alive connection between requests.
+            self.close()
+            conn = self._connection()
+            conn.request("POST", "/rpc", body=body,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            payload = response.read()
+        doc = json.loads(payload.decode("utf-8"))
+        entry = envelopes.validate(doc)
+        if entry.schema == envelopes.SERVE_ERROR:
+            raise ServeError(doc)
+        if entry.schema != envelopes.SERVE_RESPONSE:
+            raise ServeError(protocol.make_error(
+                protocol.ERROR_INTERNAL,
+                f"unexpected reply envelope {entry.schema!r}"))
+        return doc["result"]
+
+    # -- the Toolchain mirror ---------------------------------------------
+
+    def annotate(self, source: str, mode: str | None = None,
+                 **params: Any) -> dict:
+        """``repro-annotate/1`` for one translation unit."""
+        if mode is not None:
+            params["mode"] = mode
+        return self.call("annotate", {"source": source, **params})
+
+    def check(self, source: str, **params: Any) -> dict:
+        """``repro-check/1`` source-safety diagnostics."""
+        return self.call("check", {"source": source, **params})
+
+    def run(self, source: str, config: str | None = None,
+            stdin: str = "", **params: Any) -> dict:
+        """``repro-run/1``: compile + execute in one job."""
+        if config is not None:
+            params["config"] = config
+        if stdin:
+            params["stdin"] = stdin
+        return self.call("run", {"source": source, **params})
+
+    def bench(self, workloads: tuple[str, ...] | list[str] | None = None,
+              configs: tuple[str, ...] | list[str] | None = None,
+              **params: Any) -> dict:
+        """``repro-bench/1`` slowdown matrix."""
+        if workloads:
+            params["workloads"] = list(workloads)
+        if configs:
+            params["configs"] = list(configs)
+        return self.call("bench", params)
+
+    def fuzz(self, seed: int = 0, iters: int = 10, **params: Any) -> dict:
+        """``repro-fuzz/1`` differential campaign record."""
+        return self.call("fuzz", {"seed": seed, "iters": iters, **params})
+
+    # -- control plane ----------------------------------------------------
+
+    def health(self) -> dict:
+        return self.call("health")
+
+    def metrics_snapshot(self) -> dict:
+        """The daemon's live ``repro-obs-metrics/1`` snapshot."""
+        return self.call("metrics")
+
+    def shutdown(self) -> dict:
+        doc = self.call("shutdown")
+        self.close()
+        return doc
+
+
+__all__ = ["Client", "ServeError"]

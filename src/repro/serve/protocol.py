@@ -1,0 +1,171 @@
+"""The wire: request/response/error envelopes + a minimal HTTP/1.1
+layer over asyncio streams.
+
+One endpoint, ``POST /rpc``.  The body is a ``repro-serve-request/1``
+envelope::
+
+    {"schema": "repro-serve-request/1", "id": 3, "tenant": "ci",
+     "method": "annotate", "params": {"source": "...", "mode": "safe"}}
+
+Success answers are ``repro-serve-response/1`` with the job's *inner*
+versioned envelope under ``"result"`` — those inner bytes (canonical
+dump) are exactly what the matching CLI ``--json`` would print, which
+is the byte-identity contract.  Failures are ``repro-serve-error/1``
+with a typed ``code`` (see ERROR_* below); admission failures map to
+HTTP 429, malformed requests to 400, everything else rides on 200/500.
+
+Zero dependencies: the HTTP subset is hand-rolled (request line,
+headers, Content-Length bodies, keep-alive) because the stdlib has no
+async server and the daemon must not grow one as a dependency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..api import envelopes
+from ..api.build import dumps_canonical
+
+MAX_BODY = 64 * 1024 * 1024     # one source file tops out far below this
+MAX_HEADER = 64 * 1024
+
+# -- typed error codes ---------------------------------------------------
+
+ERROR_BAD_REQUEST = "bad_request"          # unparsable / invalid envelope
+ERROR_UNKNOWN_METHOD = "unknown_method"
+ERROR_ADMISSION = "admission_rejected"     # global queue / backpressure
+ERROR_QUOTA = "quota_exceeded"             # per-tenant quota
+ERROR_JOB_FAILED = "job_failed"            # toolchain raised (deterministic)
+ERROR_INTERNAL = "internal"                # daemon bug / unexpected state
+ERROR_SHUTTING_DOWN = "shutting_down"
+
+_HTTP_STATUS = {
+    ERROR_BAD_REQUEST: 400,
+    ERROR_UNKNOWN_METHOD: 400,
+    ERROR_ADMISSION: 429,
+    ERROR_QUOTA: 429,
+    ERROR_JOB_FAILED: 200,     # the *job* failed; the RPC itself worked
+    ERROR_INTERNAL: 500,
+    ERROR_SHUTTING_DOWN: 503,
+}
+
+
+class ProtocolError(Exception):
+    """The peer sent something that is not our HTTP subset."""
+
+
+def make_request(method: str, params: dict, tenant: str = "default",
+                 req_id: int = 0) -> dict:
+    return envelopes.make(envelopes.SERVE_REQUEST, {
+        "id": req_id, "tenant": tenant, "method": method, "params": params})
+
+
+def make_response(req: dict, result: dict) -> dict:
+    return envelopes.make(envelopes.SERVE_RESPONSE, {
+        "id": req.get("id", 0), "tenant": req.get("tenant", "default"),
+        "method": req.get("method", ""), "ok": True, "result": result})
+
+
+def make_error(code: str, message: str, req: dict | None = None,
+               reason: str | None = None) -> dict:
+    """A typed ``repro-serve-error/1`` envelope.  ``reason`` carries
+    the admission/quota sub-reason label (``queue_full``, ...)."""
+    error: dict = {"code": code, "message": message}
+    if reason is not None:
+        error["reason"] = reason
+    req = req or {}
+    return envelopes.make(envelopes.SERVE_ERROR, {
+        "id": req.get("id", 0), "tenant": req.get("tenant", "default"),
+        "method": req.get("method", ""), "ok": False, "error": error})
+
+
+def http_status(doc: dict) -> int:
+    if doc.get("ok", False):
+        return 200
+    return _HTTP_STATUS.get(doc.get("error", {}).get("code", ""), 500)
+
+
+def parse_request_envelope(body: bytes) -> dict:
+    """Decode and validate one wire request; raises
+    :class:`envelopes.EnvelopeError` with a message fit for a
+    ``bad_request`` error envelope."""
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise envelopes.EnvelopeError(f"body is not JSON: {exc}") from None
+    entry = envelopes.validate(doc)
+    if entry.schema != envelopes.SERVE_REQUEST:
+        raise envelopes.EnvelopeError(
+            f"expected {envelopes.SERVE_REQUEST!r}, got {entry.schema!r}")
+    method = doc.get("method")
+    if not isinstance(method, str) or not method:
+        raise envelopes.EnvelopeError("request has no 'method'")
+    if not isinstance(doc.get("params", {}), dict):
+        raise envelopes.EnvelopeError("'params' must be an object")
+    tenant = doc.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        raise envelopes.EnvelopeError("'tenant' must be a non-empty string")
+    return doc
+
+
+# -- asyncio HTTP subset -------------------------------------------------
+
+async def read_http_request(
+        reader: asyncio.StreamReader) -> tuple[str, str, dict, bytes] | None:
+    """One request: ``(method, path, headers, body)``; None on clean EOF
+    (peer closed the keep-alive connection)."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("truncated request line") from None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"bad request line {line!r}")
+    method, path = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        hline = await reader.readuntil(b"\r\n")
+        total += len(hline)
+        if total > MAX_HEADER:
+            raise ProtocolError("header block too large")
+        if hline == b"\r\n":
+            break
+        name, _, value = hline.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length < 0 or length > MAX_BODY:
+        raise ProtocolError(f"bad content-length {length}")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+def encode_http_response(status: int, body: bytes,
+                         content_type: str = "application/json",
+                         keep_alive: bool = True) -> bytes:
+    head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n")
+    return head.encode("latin-1") + body
+
+
+def encode_doc(doc: dict) -> bytes:
+    return (dumps_canonical(doc) + "\n").encode("utf-8")
+
+
+__all__ = ["ProtocolError", "make_request", "make_response", "make_error",
+           "http_status", "parse_request_envelope", "read_http_request",
+           "encode_http_response", "encode_doc",
+           "ERROR_BAD_REQUEST", "ERROR_UNKNOWN_METHOD", "ERROR_ADMISSION",
+           "ERROR_QUOTA", "ERROR_JOB_FAILED", "ERROR_INTERNAL",
+           "ERROR_SHUTTING_DOWN"]

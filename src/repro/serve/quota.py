@@ -1,0 +1,111 @@
+"""Admission control — who gets into the queue, and why not.
+
+Two layers, both deterministic functions of the admission sequence so
+a replayed request stream is accepted/rejected identically:
+
+* a **global** queue-depth cap (``queue_full``) protects the daemon;
+* **per-tenant** quotas cap in-flight jobs (queued + running,
+  ``tenant_inflight``) and, optionally, a total admitted-jobs budget
+  for the daemon's lifetime (``tenant_budget``).
+
+The controller is event-loop-confined (no locks); counters feed the
+``serve.admitted`` / ``serve.admission_rejections{reason=}`` metrics
+and the :meth:`snapshot` that ``health`` reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: rejection reasons (the ``reason`` label on serve.admission_rejections
+#: and the ``code`` detail of quota error envelopes).
+QUEUE_FULL = "queue_full"
+TENANT_INFLIGHT = "tenant_inflight"
+TENANT_BUDGET = "tenant_budget"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits.
+
+    ``max_inflight`` bounds queued+running jobs at any instant;
+    ``max_jobs`` (None = unlimited) bounds total admissions over the
+    daemon's lifetime — the deterministic quota used by tests and the
+    load generator's quota-path probes.
+    """
+
+    max_inflight: int = 8
+    max_jobs: int | None = None
+
+
+@dataclass
+class _TenantState:
+    inflight: int = 0
+    admitted: int = 0
+    rejected: int = 0
+
+
+class AdmissionController:
+    def __init__(self, max_queue_depth: int = 64,
+                 default_quota: TenantQuota | None = None,
+                 quotas: dict[str, TenantQuota] | None = None):
+        self.max_queue_depth = max_queue_depth
+        self.default_quota = default_quota or TenantQuota()
+        self.quotas = dict(quotas or {})
+        self.tenants: dict[str, _TenantState] = {}
+        self.queued = 0          # jobs admitted but not yet finished
+        self.admitted_total = 0
+        self.rejections: dict[str, int] = {}
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def _state(self, tenant: str) -> _TenantState:
+        return self.tenants.setdefault(tenant, _TenantState())
+
+    def admit(self, tenant: str) -> str | None:
+        """Try to admit one job; return None on success or the
+        rejection reason."""
+        quota = self.quota_for(tenant)
+        state = self._state(tenant)
+        reason = None
+        if self.queued >= self.max_queue_depth:
+            reason = QUEUE_FULL
+        elif state.inflight >= quota.max_inflight:
+            reason = TENANT_INFLIGHT
+        elif quota.max_jobs is not None and state.admitted >= quota.max_jobs:
+            reason = TENANT_BUDGET
+        if reason is not None:
+            state.rejected += 1
+            self.rejections[reason] = self.rejections.get(reason, 0) + 1
+            return reason
+        state.inflight += 1
+        state.admitted += 1
+        self.queued += 1
+        self.admitted_total += 1
+        return None
+
+    def release(self, tenant: str) -> None:
+        """One admitted job finished (or failed) — free its slot."""
+        state = self._state(tenant)
+        if state.inflight <= 0 or self.queued <= 0:
+            raise AssertionError(
+                f"release without matching admit for tenant {tenant!r}")
+        state.inflight -= 1
+        self.queued -= 1
+
+    def snapshot(self) -> dict:
+        return {
+            "max_queue_depth": self.max_queue_depth,
+            "queued": self.queued,
+            "admitted": self.admitted_total,
+            "rejections": dict(sorted(self.rejections.items())),
+            "tenants": {
+                name: {"inflight": s.inflight, "admitted": s.admitted,
+                       "rejected": s.rejected}
+                for name, s in sorted(self.tenants.items())},
+        }
+
+
+__all__ = ["TenantQuota", "AdmissionController", "QUEUE_FULL",
+           "TENANT_INFLIGHT", "TENANT_BUDGET"]

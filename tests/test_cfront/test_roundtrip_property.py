@@ -99,9 +99,9 @@ class TestExpressionRoundTrip:
     @settings(max_examples=40, deadline=None)
     @given(st.lists(statement(), min_size=1, max_size=5))
     def test_annotation_of_random_programs_reparses(self, stmts):
-        from repro.core import annotate_source
+        from repro.api import Toolchain
         from repro.cfront.cpp import preprocess
         source = wrap("\n    ".join(stmts))
-        result = annotate_source(source)
+        result = Toolchain().annotate(source)
         expanded = preprocess("#define KEEP_LIVE(e, y) (e)\n" + result.text)
         typecheck(parse(expanded))

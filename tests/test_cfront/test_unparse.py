@@ -76,14 +76,14 @@ class TestDetails:
         assert text.count("{ int a; }") == 1
 
     def test_keep_live_renders(self):
-        from repro.core import annotate_source
-        result = annotate_source("char *f(char *p) { return p + 1; }")
+        from repro.api import Toolchain
+        result = Toolchain().annotate("char *f(char *p) { return p + 1; }")
         assert "KEEP_LIVE((p + 1), p)" in unparse(result.unit)
 
     def test_checked_renders_with_casts(self):
-        from repro.core import annotate_source
-        result = annotate_source("char *f(char *p) { return p + 1; }",
-                                 mode="checked")
+        from repro.api import Toolchain
+        result = Toolchain().annotate("char *f(char *p) { return p + 1; }",
+                                      mode="checked")
         text = unparse(result.unit)
         assert "GC_same_obj((void *)((p + 1)), (void *)(p))" in text
         assert "(char *)" in text

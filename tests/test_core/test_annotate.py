@@ -3,15 +3,16 @@ optimizations (1)-(4), checked mode, and temporary introduction."""
 
 import pytest
 
+from repro.api import Toolchain
 from repro.cfront import parse, typecheck
 from repro.cfront.cpp import preprocess
-from repro.core import AnnotateOptions, annotate_source
+from repro.core import AnnotateOptions
 
 
 def annotate(source, **opts):
     mode = opts.pop("mode", "safe")
     options = AnnotateOptions(mode=mode, **opts)
-    return annotate_source(source, mode=mode, options=options)
+    return Toolchain(mode=mode, annotate=options).annotate(source)
 
 
 def reparses(result):

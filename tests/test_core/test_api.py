@@ -1,10 +1,24 @@
-"""Public API tests: annotate_source / check_source end to end."""
+"""Public API tests: Toolchain.annotate / Toolchain.check end to end.
+
+(The module-level annotate_source / check_source shims are gone; these
+helpers spell the same calls through the facade.)
+"""
 
 import pytest
 
-from repro.core import AnnotateOptions, annotate_source, check_source
+from repro.api import Toolchain
+from repro.core import AnnotateOptions
 from repro.cfront import parse, typecheck
 from repro.cfront.cpp import preprocess
+
+
+def annotate_source(source, mode="safe", options=None, run_cpp=False):
+    return Toolchain(mode=mode, annotate=options,
+                     run_cpp=run_cpp).annotate(source)
+
+
+def check_source(source, run_cpp=False):
+    return Toolchain(run_cpp=run_cpp).check(source)
 
 
 class TestAnnotateSource:
@@ -74,8 +88,9 @@ class TestCheckSource:
 class TestPackageSurface:
     def test_top_level_exports(self):
         import repro
-        assert callable(repro.annotate_source)
-        assert callable(repro.check_source)
+        assert callable(repro.Toolchain)
+        assert not hasattr(repro, "annotate_source")   # shim removed
+        assert not hasattr(repro, "check_source")
         assert repro.__version__
 
     def test_annotated_source_repr_fields(self):

@@ -1,4 +1,4 @@
-"""The repro.api facade: one options bag, no mutation, working shims."""
+"""The repro.api facade: one options bag, no mutation, shims gone."""
 
 import dataclasses
 
@@ -7,7 +7,6 @@ import pytest
 import repro
 from repro.api import Mode, Options, Toolchain
 from repro.core.annotate import AnnotateOptions
-from repro.core.api import annotate_source, check_source
 
 POINTERY = "char *f(char *p) { return p + 1; }"
 HELLO = 'int main(void) { printf("hi\\n"); return 7; }'
@@ -98,15 +97,18 @@ class TestToolchain:
             assert not exec_cache.active_caches()
 
 
-class TestDeprecationShims:
-    def test_annotate_source_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="Toolchain"):
-            result = annotate_source(POINTERY)
-        assert "KEEP_LIVE" in result.text
+class TestShimRemoval:
+    def test_module_level_shims_are_gone(self):
+        import repro.core
+        import repro.core.api
+        for mod in (repro, repro.core, repro.core.api):
+            assert not hasattr(mod, "annotate_source")
+            assert not hasattr(mod, "check_source")
 
-    def test_check_source_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="Toolchain"):
-            assert check_source("int f(int a) { return a; }") == []
+    def test_facade_covers_the_old_spellings(self):
+        result = Toolchain().annotate(POINTERY)
+        assert "KEEP_LIVE" in result.text
+        assert Toolchain().check("int f(int a) { return a; }") == []
 
     def test_package_root_exports_facade(self):
         assert repro.Toolchain is Toolchain

@@ -47,8 +47,9 @@ class TestSimplify:
 
     def test_keep_live_between_blocks_fold(self):
         """*(KEEP_LIVE(&e, b)) must NOT fold: the barrier sits between."""
-        from repro.core import annotate_source
-        result = annotate_source("char f(char *p, int i) { return p[i - 50]; }")
+        from repro.api import Toolchain
+        result = Toolchain().annotate(
+            "char f(char *p, int i) { return p[i - 50]; }")
         text = unparse(result.unit)
         assert "KEEP_LIVE" in text
         assert "*(KEEP_LIVE" in text.replace(" ", "").replace("*(KEEP_LIVE", "*(KEEP_LIVE")
@@ -56,10 +57,10 @@ class TestSimplify:
     def test_annotator_output_has_no_bare_detours(self):
         """Whatever the annotator normalized but did not wrap must be
         folded back: no *&( left in the rendered result."""
-        from repro.core import annotate_source
+        from repro.api import Toolchain
         src = ("struct s { int a[4]; int k; };\n"
                "int f(struct s *p, int i) { int local[4]; local[i] = 1; "
                "return local[i] + p->k; }")
-        result = annotate_source(src)
+        result = Toolchain().annotate(src)
         assert "*&" not in result.text.replace(" ", "").replace("*(&", "*&") \
             or "KEEP_LIVE" in result.text

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.core import check_source
+from repro.api import Toolchain
+
+
+def check_source(source):
+    return Toolchain().check(source)
 
 
 def categories(source):

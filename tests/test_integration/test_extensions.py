@@ -6,7 +6,8 @@ verifying it."""
 
 import pytest
 
-from repro.core import AnnotateOptions, annotate_source
+from repro.api import Toolchain
+from repro.core import AnnotateOptions
 from repro.gc import Collector, GCCheckError
 from repro.machine import CompileConfig, VM, compile_source
 
@@ -83,17 +84,19 @@ class TestExtensionsCollectorMode:
 
 class TestBaseStoreChecking:
     def test_annotation_inserts_checks(self):
-        result = annotate_source(
-            GOOD, mode="checked",
-            options=AnnotateOptions(mode="checked", check_base_stores=True))
+        result = Toolchain(
+            mode="checked",
+            annotate=AnnotateOptions(mode="checked", check_base_stores=True),
+        ).annotate(GOOD)
         assert "GC_check_base" in result.text
         assert result.stats.base_store_checks >= 1
 
     def test_local_stores_not_checked(self):
         src = "void f(char *p) { char *q; q = p + 3; *q = 0; }"
-        result = annotate_source(
-            src, mode="checked",
-            options=AnnotateOptions(mode="checked", check_base_stores=True))
+        result = Toolchain(
+            mode="checked",
+            annotate=AnnotateOptions(mode="checked", check_base_stores=True),
+        ).annotate(src)
         assert result.stats.base_store_checks == 0
 
     def test_disciplined_program_passes_checks(self):

@@ -1,0 +1,30 @@
+"""Shared fixtures for the serve daemon suite.
+
+Every test must leave the process untouched: no installed caches, no
+fault plan, no swapped metrics registry (the autouse fixture asserts
+it) — a leaked daemon would poison every test after it.
+"""
+
+import pytest
+
+from repro.exec import cache as exec_cache
+from repro.obs import runtime as obs_runtime
+from repro.resil import inject
+from repro.serve import ServeConfig, start_in_thread
+
+@pytest.fixture(autouse=True)
+def _no_leaked_state():
+    before = obs_runtime.get_metrics()
+    yield
+    assert not exec_cache.active_caches(), "test leaked installed caches"
+    assert inject.active_plan() is None, "test leaked a fault plan"
+    assert obs_runtime.get_metrics() is before, \
+        "test leaked a swapped metrics registry"
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """One warm daemon on an ephemeral port, torn down hard."""
+    config = ServeConfig(port=0, cache_dir=str(tmp_path / "cache"))
+    with start_in_thread(config) as handle:
+        yield handle

@@ -1,0 +1,58 @@
+"""The deterministic load generator: tape determinism, byte-identity
+under concurrency, and the faulted replay gate (a scaled-down version
+of what benchmarks/check_serve.py and the CI serve-smoke job run)."""
+
+import pytest
+
+from repro.api import envelopes
+from repro.serve.load import LoadSpec, build_traffic, run_load
+from repro.serve.daemon import ServeConfig
+
+TINY_SPEC = LoadSpec(seed=0, clients=2, jobs=4, fuzz_iters=1,
+                     bench_workloads=(), max_statements=6)
+
+
+class TestTape:
+    def test_tape_is_a_pure_function_of_the_spec(self):
+        assert build_traffic(TINY_SPEC) == build_traffic(TINY_SPEC)
+
+    def test_different_seeds_differ(self):
+        other = LoadSpec(seed=1, clients=2, jobs=4, fuzz_iters=1,
+                         bench_workloads=(), max_statements=6)
+        assert build_traffic(TINY_SPEC) != build_traffic(other)
+
+    def test_tape_length_and_shape(self):
+        tape = build_traffic(TINY_SPEC)
+        assert len(tape) == 4
+        for entry in tape:
+            assert entry["method"] in ("annotate", "check", "run",
+                                       "bench", "fuzz")
+
+
+@pytest.mark.slow
+class TestRunLoad:
+    def test_served_bytes_match_serial(self, tmp_path):
+        config = ServeConfig(cache_dir=str(tmp_path / "cache"))
+        report = run_load(config, TINY_SPEC, check=True)
+        assert report["schema"] == envelopes.SERVE_LOAD
+        assert report["ok"]
+        assert report["byte_identity"]["checked"]
+        assert report["byte_identity"]["ok"]
+        assert report["byte_identity"]["mismatches"] == []
+        overall = report["latency"]["request_ns"]["overall"]
+        assert overall["count"] == 4 and overall["p99"] >= overall["p50"]
+
+    def test_faulted_replay_is_byte_identical(self, tmp_path):
+        config = ServeConfig(cache_dir=str(tmp_path / "cache"), workers=2)
+        report = run_load(
+            config, TINY_SPEC, check=False,
+            faults="worker_crash@shard1,cache_corrupt@1-2,pipe_drop@0.05")
+        assert report["ok"]
+        assert report["chaos"]["identical"]
+
+    def test_slo_gate_fails_on_impossible_target(self, tmp_path):
+        config = ServeConfig(cache_dir=str(tmp_path / "cache"))
+        report = run_load(config, TINY_SPEC, check=False,
+                          slo_p99_ms=0.000001)
+        assert not report["ok"]
+        assert not report["slo"]["ok"]

@@ -1,0 +1,70 @@
+"""Admission control: queue caps, per-tenant inflight, lifetime budgets."""
+
+from repro.serve.quota import (
+    AdmissionController, QUEUE_FULL, TENANT_BUDGET, TENANT_INFLIGHT,
+    TenantQuota,
+)
+
+
+class TestAdmission:
+    def test_admits_within_limits(self):
+        ac = AdmissionController(max_queue_depth=4,
+                                 default_quota=TenantQuota(max_inflight=2))
+        assert ac.admit("a") is None
+        assert ac.admit("a") is None
+
+    def test_tenant_inflight_cap(self):
+        ac = AdmissionController(max_queue_depth=64,
+                                 default_quota=TenantQuota(max_inflight=2))
+        assert ac.admit("a") is None
+        assert ac.admit("a") is None
+        assert ac.admit("a") == TENANT_INFLIGHT
+        # another tenant is unaffected — isolation, not a global cap
+        assert ac.admit("b") is None
+
+    def test_release_frees_a_slot(self):
+        ac = AdmissionController(max_queue_depth=64,
+                                 default_quota=TenantQuota(max_inflight=1))
+        assert ac.admit("a") is None
+        assert ac.admit("a") == TENANT_INFLIGHT
+        ac.release("a")
+        assert ac.admit("a") is None
+
+    def test_queue_full_beats_tenant_reasons(self):
+        ac = AdmissionController(max_queue_depth=1,
+                                 default_quota=TenantQuota(max_inflight=1))
+        assert ac.admit("a") is None
+        assert ac.admit("b") == QUEUE_FULL
+
+    def test_lifetime_budget_is_not_released(self):
+        quota = TenantQuota(max_inflight=8, max_jobs=2)
+        ac = AdmissionController(max_queue_depth=64, default_quota=quota)
+        assert ac.admit("a") is None
+        ac.release("a")
+        assert ac.admit("a") is None
+        ac.release("a")
+        # budget is lifetime: releasing does not refund it
+        assert ac.admit("a") == TENANT_BUDGET
+
+    def test_per_tenant_override(self):
+        ac = AdmissionController(
+            max_queue_depth=64,
+            default_quota=TenantQuota(max_inflight=8),
+            quotas={"small": TenantQuota(max_inflight=1)})
+        assert ac.admit("small") is None
+        assert ac.admit("small") == TENANT_INFLIGHT
+        assert ac.admit("big") is None
+        assert ac.admit("big") is None
+
+    def test_snapshot_reports_counts(self):
+        ac = AdmissionController(max_queue_depth=64,
+                                 default_quota=TenantQuota(max_inflight=8))
+        ac.admit("a")
+        ac.admit("a")
+        ac.admit("b")
+        snap = ac.snapshot()
+        assert snap["tenants"]["a"]["inflight"] == 2
+        assert snap["tenants"]["b"]["inflight"] == 1
+        assert snap["queued"] == 3
+        assert snap["admitted"] == 3
+        assert snap["rejections"] == {}
